@@ -1,0 +1,36 @@
+"""Shared helpers for the benchmark harness.
+
+Every bench regenerates one table or figure of the paper: it computes the
+data, prints it in the paper's format (so `pytest benchmarks/
+--benchmark-only -s` shows the reproduction), asserts the qualitative
+claims, and reports its runtime through pytest-benchmark.
+
+Benches run their experiment exactly once (``benchmark.pedantic`` with one
+round): the experiments are deterministic, so repetition would only
+re-measure the same numbers — mirroring how the paper's own
+confidence-interval protocol collapses under a deterministic simulator.
+"""
+
+import pytest
+
+
+def run_once(benchmark, func):
+    """Benchmark ``func`` with a single round and return its result."""
+    return benchmark.pedantic(func, rounds=1, iterations=1)
+
+
+def print_table(title, headers, rows):
+    """Print an aligned text table (the bench's human-readable output)."""
+    widths = [len(h) for h in headers]
+    rendered = []
+    for row in rows:
+        cells = [str(c) for c in row]
+        rendered.append(cells)
+        for index, cell in enumerate(cells):
+            widths[index] = max(widths[index], len(cell))
+    line = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    print(f"\n=== {title} ===")
+    print(line)
+    print("-" * len(line))
+    for cells in rendered:
+        print("  ".join(c.ljust(w) for c, w in zip(cells, widths)))

@@ -1,0 +1,58 @@
+#!/usr/bin/env python
+"""CARAT in action: guard memory accesses and catch an out-of-bounds bug.
+
+The program walks past the end of a heap buffer when given a bad size.
+Without CARAT the stray store scribbles into whatever the runtime placed
+next; with CARAT, the guard traps the access before it happens — the
+compiler/runtime co-design that replaces virtual-memory protection.
+
+Run:  python examples/memory_safety_carat.py
+"""
+
+from repro.core import Noelle
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.xforms import CARAT
+
+SOURCE = """
+int main() {
+  int *buffer = (int *)malloc(10);
+  int i;
+  int sum = 0;
+  for (i = 0; i < 12; i = i + 1) {
+    buffer[i] = i * i;
+  }
+  for (i = 0; i < 10; i = i + 1) {
+    sum = sum + buffer[i];
+  }
+  print_int(sum);
+  free((char *)buffer);
+  return sum;
+}
+"""
+
+
+def main() -> None:
+    # Unprotected: the interpreter's memory model happens to catch the
+    # overflow (a real machine often would not).
+    plain = compile_source(SOURCE)
+    result = Interpreter(plain).run()
+    print(f"unprotected run: trapped={result.trapped!r}")
+
+    # With CARAT: the guard fires with a precise diagnosis, and the stats
+    # show how much checking the optimizer removed.
+    guarded_module = compile_source(SOURCE)
+    noelle = Noelle(guarded_module)
+    stats = CARAT(noelle).run()
+    print(f"\nCARAT: {stats.guards_inserted} guards inserted "
+          f"({stats.candidates} candidates, {stats.proven_safe} proven safe, "
+          f"{stats.merged} merged into range guards, "
+          f"{stats.deduplicated} deduplicated)")
+
+    result = Interpreter(guarded_module).run()
+    print(f"guarded run: trapped={result.trapped!r}")
+    print(f"guards executed before the trap: {result.guard_count}")
+
+
+if __name__ == "__main__":
+    main()

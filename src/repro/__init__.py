@@ -1,0 +1,18 @@
+"""repro — a Python reproduction of NOELLE (CGO 2022).
+
+The package layers exactly as the paper describes:
+
+* :mod:`repro.ir` — the IR substrate (the LLVM stand-in),
+* :mod:`repro.frontend` — MiniC, a small C-like language (the clang stand-in),
+* :mod:`repro.analysis` — foundational analyses (dominators, loops, AA),
+* :mod:`repro.interp` / :mod:`repro.runtime` — execution and the simulated
+  multicore machine,
+* :mod:`repro.core` — the NOELLE abstraction layer (PDG, aSCCDAG, ...),
+* :mod:`repro.baselines` — "vanilla LLVM"-grade counterparts,
+* :mod:`repro.tools` — the noelle-* pipeline tools,
+* :mod:`repro.xforms` — the ten custom tools of the paper,
+* :mod:`repro.workloads` — MiniC benchmark programs shaped after
+  SPEC CPU2017 / PARSEC 3.0 / MiBench.
+"""
+
+__version__ = "1.0.0"

@@ -1,0 +1,6 @@
+"""repro.analysis — foundational code analyses over the repro IR.
+
+These are the algorithms LLVM ships (dominators, loop info, alias analysis,
+scalar evolution) plus the stronger interprocedural points-to analysis that
+plays the role of SCAF/SVF in powering NOELLE's PDG.
+"""

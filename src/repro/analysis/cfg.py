@@ -1,0 +1,83 @@
+"""CFG traversal utilities shared by every analysis."""
+
+from __future__ import annotations
+
+from ..ir.module import BasicBlock, Function
+
+
+def reverse_postorder(fn: Function) -> list[BasicBlock]:
+    """Blocks in reverse postorder from the entry (forward dataflow order)."""
+    return list(reversed(postorder(fn)))
+
+
+def postorder(fn: Function) -> list[BasicBlock]:
+    """Blocks in postorder from the entry; unreachable blocks are omitted."""
+    order: list[BasicBlock] = []
+    visited: set[int] = set()
+    # Iterative DFS to survive deep CFGs without hitting the recursion limit.
+    stack: list[tuple[BasicBlock, int]] = [(fn.entry, 0)]
+    visited.add(id(fn.entry))
+    while stack:
+        block, edge = stack[-1]
+        successors = block.successors()
+        if edge < len(successors):
+            stack[-1] = (block, edge + 1)
+            succ = successors[edge]
+            if id(succ) not in visited:
+                visited.add(id(succ))
+                stack.append((succ, 0))
+        else:
+            stack.pop()
+            order.append(block)
+    return order
+
+
+def reachable_blocks(fn: Function) -> set[int]:
+    """The ids of all blocks reachable from the entry."""
+    return {id(b) for b in postorder(fn)}
+
+
+def exit_blocks(fn: Function) -> list[BasicBlock]:
+    """Blocks that terminate the function (ret or unreachable)."""
+    return [b for b in fn.blocks if not b.successors()]
+
+
+def remove_unreachable_blocks(fn: Function) -> int:
+    """Delete blocks not reachable from the entry; returns how many."""
+    from ..ir.instructions import Phi
+
+    reachable = reachable_blocks(fn)
+    dead = [b for b in fn.blocks if id(b) not in reachable]
+    # First fix phis in surviving blocks that mention dead predecessors.
+    for block in fn.blocks:
+        if id(block) not in reachable:
+            continue
+        for phi in list(block.phis()):
+            for _, pred in list(phi.incoming()):
+                if id(pred) not in reachable:
+                    phi.remove_incoming(pred)
+    for block in dead:
+        block.erase()
+    return len(dead)
+
+
+def split_edge(pred: BasicBlock, succ: BasicBlock) -> BasicBlock:
+    """Insert a fresh block on the CFG edge ``pred -> succ``.
+
+    The new block becomes the phi predecessor in ``succ``.  Used by the loop
+    builder to create pre-headers and dedicated exits.
+    """
+    from ..ir.instructions import Branch
+
+    fn = pred.parent
+    assert fn is not None and succ.parent is fn
+    middle = fn.insert_block_after(pred, f"{pred.name}.split")
+    middle.append(Branch(succ))
+    term = pred.terminator
+    assert term is not None
+    term.replace_successor(succ, middle)
+    for phi in succ.phis():
+        for i in range(0, len(phi.operands), 2):
+            if phi.operands[i + 1] is pred:
+                phi.set_operand(i + 1, middle)
+    return middle

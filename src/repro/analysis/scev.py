@@ -1,0 +1,222 @@
+"""Scalar evolution — add-recurrence recognition for loop values.
+
+A small SCEV: it recognizes values of the form ``{start, +, step}`` around a
+given loop (affine add-recurrences), which is exactly what the induction
+variable abstraction, the IV stepper, and DOALL's chunking need.  NOELLE
+re-implements LLVM's scalar evolution with user-controlled lifetime
+(Section 2.2); these objects are plain values, reproducing that behaviour.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import BinaryOp, Instruction, Phi
+from ..ir.values import ConstantInt, Value
+from .loopinfo import NaturalLoop
+
+
+class SCEV:
+    """Base class of symbolic scalar evolutions."""
+
+
+class SCEVConstant(SCEV):
+    def __init__(self, value: int):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"{self.value}"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SCEVConstant) and other.value == self.value
+
+    def __hash__(self) -> int:
+        return hash(("scev-const", self.value))
+
+
+class SCEVUnknown(SCEV):
+    """A loop-invariant value we cannot decompose further."""
+
+    def __init__(self, value: Value):
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"unknown({self.value.ref()})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, SCEVUnknown) and other.value is self.value
+
+    def __hash__(self) -> int:
+        return hash(("scev-unknown", id(self.value)))
+
+
+class SCEVAddRec(SCEV):
+    """An affine recurrence ``{start, +, step}`` over a loop."""
+
+    def __init__(self, start: SCEV, step: SCEV, loop: NaturalLoop):
+        self.start = start
+        self.step = step
+        self.loop = loop
+
+    def constant_step(self) -> int | None:
+        return self.step.value if isinstance(self.step, SCEVConstant) else None
+
+    def __repr__(self) -> str:
+        return f"{{{self.start!r}, +, {self.step!r}}}"
+
+
+class ScalarEvolution:
+    """Per-loop add-recurrence analysis."""
+
+    def __init__(self, loop: NaturalLoop):
+        self.loop = loop
+        self._cache: dict[int, SCEV | None] = {}
+
+    def evolution_of(self, value: Value) -> SCEV | None:
+        """The evolution of ``value`` around this loop, or None if unknown."""
+        cached = self._cache.get(id(value))
+        if cached is not None or id(value) in self._cache:
+            return cached
+        # Break cycles (mutually recursive phis) by pre-seeding None.
+        self._cache[id(value)] = None
+        result = self._compute(value)
+        self._cache[id(value)] = result
+        return result
+
+    def _compute(self, value: Value) -> SCEV | None:
+        if isinstance(value, ConstantInt):
+            return SCEVConstant(value.value)
+        if not isinstance(value, Instruction) or not self.loop.contains(value):
+            return SCEVUnknown(value)
+        if isinstance(value, Phi):
+            return self._phi_recurrence(value)
+        if isinstance(value, BinaryOp) and value.opcode in ("add", "sub", "mul"):
+            lhs = self.evolution_of(value.lhs)
+            rhs = self.evolution_of(value.rhs)
+            if lhs is None or rhs is None:
+                return None
+            return self._combine(value.opcode, lhs, rhs)
+        return None
+
+    def _phi_recurrence(self, phi: Phi) -> SCEV | None:
+        if phi.parent is not self.loop.header:
+            return None
+        start: SCEV | None = None
+        step: SCEV | None = None
+        for incoming, pred in phi.incoming():
+            if self.loop.contains_block(pred):
+                step = self._step_from_latch_value(phi, incoming)
+                if step is None:
+                    return None
+            else:
+                if start is not None:
+                    return None  # multiple entry edges: not canonical
+                start = self.evolution_of(incoming) or SCEVUnknown(incoming)
+        if start is None or step is None:
+            return None
+        return SCEVAddRec(start, step, self.loop)
+
+    def _step_from_latch_value(self, phi: Phi, latch_value: Value) -> SCEV | None:
+        """Match ``latch_value == phi (+|-) loop-invariant-step``."""
+        if not isinstance(latch_value, BinaryOp):
+            return None
+        if latch_value.opcode == "add":
+            if latch_value.lhs is phi:
+                other = latch_value.rhs
+            elif latch_value.rhs is phi:
+                other = latch_value.lhs
+            else:
+                return None
+            return self._invariant_scev(other)
+        if latch_value.opcode == "sub" and latch_value.lhs is phi:
+            inv = self._invariant_scev(latch_value.rhs)
+            if isinstance(inv, SCEVConstant):
+                return SCEVConstant(-inv.value)
+            return None
+        return None
+
+    def _invariant_scev(self, value: Value) -> SCEV | None:
+        if isinstance(value, ConstantInt):
+            return SCEVConstant(value.value)
+        if isinstance(value, Instruction) and self.loop.contains(value):
+            return None
+        return SCEVUnknown(value)
+
+    def _combine(self, opcode: str, lhs: SCEV, rhs: SCEV) -> SCEV | None:
+        if isinstance(lhs, SCEVConstant) and isinstance(rhs, SCEVConstant):
+            if opcode == "add":
+                return SCEVConstant(lhs.value + rhs.value)
+            if opcode == "sub":
+                return SCEVConstant(lhs.value - rhs.value)
+            return SCEVConstant(lhs.value * rhs.value)
+        if isinstance(lhs, SCEVAddRec) and self._is_invariant(rhs):
+            if opcode == "add":
+                return SCEVAddRec(_add(lhs.start, rhs), lhs.step, lhs.loop)
+            if opcode == "sub":
+                return SCEVAddRec(_sub(lhs.start, rhs), lhs.step, lhs.loop)
+            if opcode == "mul" and isinstance(rhs, SCEVConstant):
+                return SCEVAddRec(
+                    _mul(lhs.start, rhs), _mul(lhs.step, rhs), lhs.loop
+                )
+        if isinstance(rhs, SCEVAddRec) and self._is_invariant(lhs):
+            if opcode == "add":
+                return SCEVAddRec(_add(rhs.start, lhs), rhs.step, rhs.loop)
+            if opcode == "mul" and isinstance(lhs, SCEVConstant):
+                return SCEVAddRec(
+                    _mul(rhs.start, lhs), _mul(rhs.step, lhs), rhs.loop
+                )
+        if isinstance(lhs, SCEVAddRec) and isinstance(rhs, SCEVAddRec):
+            if opcode == "add":
+                return SCEVAddRec(
+                    _add(lhs.start, rhs.start), _add(lhs.step, rhs.step), lhs.loop
+                )
+        # Invariant (x) invariant stays invariant — loop bounds like
+        # ``n - width - 1`` recomputed in the header are still constant
+        # across iterations.
+        if self._is_invariant(lhs) and self._is_invariant(rhs):
+            return _Sym(opcode, lhs, rhs)
+        return None
+
+    @staticmethod
+    def _is_invariant(scev: SCEV) -> bool:
+        return evolution_is_invariant(scev)
+
+
+def _add(a: SCEV, b: SCEV) -> SCEV:
+    if isinstance(a, SCEVConstant) and isinstance(b, SCEVConstant):
+        return SCEVConstant(a.value + b.value)
+    return _Sym("add", a, b)
+
+
+def _sub(a: SCEV, b: SCEV) -> SCEV:
+    if isinstance(a, SCEVConstant) and isinstance(b, SCEVConstant):
+        return SCEVConstant(a.value - b.value)
+    return _Sym("sub", a, b)
+
+
+def _mul(a: SCEV, b: SCEV) -> SCEV:
+    if isinstance(a, SCEVConstant) and isinstance(b, SCEVConstant):
+        return SCEVConstant(a.value * b.value)
+    return _Sym("mul", a, b)
+
+
+def evolution_is_invariant(scev: SCEV | None) -> bool:
+    """True when the evolution provably takes the same value every
+    iteration (constants, out-of-loop values, and combinations thereof)."""
+    if isinstance(scev, (SCEVConstant, SCEVUnknown)):
+        return True
+    if isinstance(scev, _Sym):
+        return evolution_is_invariant(scev.lhs) and evolution_is_invariant(
+            scev.rhs
+        )
+    return False
+
+
+class _Sym(SCEV):
+    """A symbolic combination kept opaque (enough for IV purposes)."""
+
+    def __init__(self, opcode: str, lhs: SCEV, rhs: SCEV):
+        self.opcode = opcode
+        self.lhs = lhs
+        self.rhs = rhs
+
+    def __repr__(self) -> str:
+        return f"({self.lhs!r} {self.opcode} {self.rhs!r})"

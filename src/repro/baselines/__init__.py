@@ -1,0 +1,35 @@
+"""repro.baselines — "vanilla LLVM"-grade counterparts.
+
+These reproduce what the paper's custom tools would have to build (and
+settle for) without NOELLE: Algorithm 1 invariance, do-while-only
+induction variables, basic-AA dependence analysis, a standalone LICM, and
+a gcc/icc-grade conservative auto-parallelizer.
+"""
+
+from .conservative_parallelizer import ConservativeParallelizer
+from .depanalysis_llvm import (
+    build_llvm_pdg,
+    build_noelle_pdg,
+    dependence_statistics,
+)
+from .induction_llvm import (
+    LLVMInductionVariable,
+    count_governing_ivs_llvm,
+    find_governing_iv_llvm,
+)
+from .invariants_llvm import invariants_llvm, is_invariant_llvm
+from .licm_llvm import licm_llvm_function, licm_llvm_module
+
+__all__ = [
+    "ConservativeParallelizer",
+    "build_llvm_pdg",
+    "build_noelle_pdg",
+    "dependence_statistics",
+    "LLVMInductionVariable",
+    "count_governing_ivs_llvm",
+    "find_governing_iv_llvm",
+    "invariants_llvm",
+    "is_invariant_llvm",
+    "licm_llvm_function",
+    "licm_llvm_module",
+]

@@ -1,0 +1,88 @@
+"""LLVM-style governing induction variable detection.
+
+The paper (Section 4.3) explains why stock LLVM finds so few governing
+IVs: its induction machinery pattern-matches the *do-while* canonical
+shape — the loop latch contains the exit test comparing the incremented IV
+against the bound — via low-level def-use chains.  Most source loops are
+while-shaped (the test lives in the header, on the pre-increment value),
+so LLVM comes up empty: 11 governing IVs vs NOELLE's 385 across the
+paper's 41 benchmarks.
+
+This module reproduces that limitation faithfully; the NOELLE counterpart
+(:mod:`repro.core.induction`) works on any shape via the aSCCDAG.
+"""
+
+from __future__ import annotations
+
+from ..analysis.loopinfo import NaturalLoop
+from ..ir.instructions import BinaryOp, CmpInst, CondBranch, Instruction, Phi
+from ..ir.values import ConstantInt, Value
+
+
+class LLVMInductionVariable:
+    """A (phi, step) pair found by the do-while pattern matcher."""
+
+    def __init__(self, phi: Phi, step: int, compare: CmpInst):
+        self.phi = phi
+        self.step = step
+        self.compare = compare
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<llvm-iv {self.phi.ref()} step={self.step}>"
+
+
+def find_governing_iv_llvm(loop: NaturalLoop) -> LLVMInductionVariable | None:
+    """Detect the governing IV the way LLVM's pattern does.
+
+    Requirements (all must hold, mirroring ``InductionDescriptor`` +
+    ``getLoopLatch``-based exit analysis on canonical do-while loops):
+
+    1. the loop has a single latch, and that latch is the exiting block
+       (the do-while shape);
+    2. the latch terminator is a conditional branch on an integer compare;
+    3. one compare operand is the *post-increment* update of a header phi
+       whose step is a constant (``%next = add %phi, C``) — the def-use
+       chain LLVM walks;
+    4. the other operand is loop-invariant.
+    """
+    latches = loop.latches()
+    if len(latches) != 1:
+        return None
+    latch = latches[0]
+    exiting = loop.exiting_blocks()
+    if len(exiting) != 1 or exiting[0] is not latch:
+        return None  # not do-while shaped: LLVM gives up
+    term = latch.terminator
+    if not isinstance(term, CondBranch):
+        return None
+    compare = term.condition
+    if not isinstance(compare, CmpInst):
+        return None
+    for candidate, bound in ((compare.lhs, compare.rhs), (compare.rhs, compare.lhs)):
+        iv = _match_post_increment(candidate, loop)
+        if iv is None:
+            continue
+        if isinstance(bound, Instruction) and loop.contains(bound):
+            continue  # bound must be invariant
+        return LLVMInductionVariable(iv[0], iv[1], compare)
+    return None
+
+
+def _match_post_increment(value: Value, loop: NaturalLoop):
+    """Match ``value == add(header-phi, constant)`` exactly."""
+    if not isinstance(value, BinaryOp) or value.opcode != "add":
+        return None
+    for phi_side, step_side in ((value.lhs, value.rhs), (value.rhs, value.lhs)):
+        if not isinstance(phi_side, Phi) or phi_side.parent is not loop.header:
+            continue
+        if not isinstance(step_side, ConstantInt):
+            continue
+        # The phi must receive this update on the latch edge (the cycle).
+        for incoming, pred in phi_side.incoming():
+            if incoming is value and loop.contains_block(pred):
+                return phi_side, step_side.value
+    return None
+
+
+def count_governing_ivs_llvm(loops: list[NaturalLoop]) -> int:
+    return sum(1 for loop in loops if find_governing_iv_llvm(loop) is not None)

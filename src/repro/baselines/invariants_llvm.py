@@ -1,0 +1,103 @@
+"""Algorithm 1 of the paper: LLVM's loop-invariance logic, reproduced.
+
+This is the low-level counterpart of NOELLE's PDG-powered Algorithm 2
+(:mod:`repro.core.invariants`).  It reasons case by case over loads,
+stores, and calls using alias analysis and dominators — longer, harder to
+maintain, and *less precise*: the Figure 4 experiment counts how many
+invariants each finds.
+
+Sources of imprecision reproduced faithfully from the paper's pseudo-code:
+
+* an instruction with an operand defined inside the loop is rejected
+  outright, even when that operand is itself invariant (no recursion);
+* loads bail out when *any* loop instruction may modify *any* memory
+  (``getModRef`` against each instruction, no dependence chaining);
+* stores and calls use conservative dominance and sub-loop checks.
+"""
+
+from __future__ import annotations
+
+from ..analysis.aa import AliasAnalysis, ModRefResult
+from ..analysis.dominators import DominatorTree
+from ..analysis.loopinfo import NaturalLoop
+from ..ir.instructions import (
+    Call,
+    Instruction,
+    Load,
+    Phi,
+    Store,
+    TerminatorInst,
+)
+
+
+def is_invariant_llvm(
+    inst: Instruction,
+    loop: NaturalLoop,
+    dom: DominatorTree,
+    aa: AliasAnalysis,
+) -> bool:
+    """Algorithm 1: ``isInvariant_llvm(I, L, DT, AA)``."""
+    if isinstance(inst, (TerminatorInst, Phi)):
+        return False
+    # "for operand in I.getOperands(): if operand is defined in L: False"
+    for operand in inst.operands:
+        if isinstance(operand, Instruction) and loop.contains(operand):
+            return False
+    if isinstance(inst, Load):
+        # "for J in L: if getModRef(J, I) != NoMod: return False"
+        for other in loop.instructions():
+            if other is inst:
+                continue
+            if not other.may_write_memory():
+                continue
+            if aa.mod_ref(other, inst.pointer) & ModRefResult.MOD:
+                return False
+        return True
+    if isinstance(inst, Store):
+        # "Conservatively ensure no memory use precedes this store."
+        for other in loop.instructions():
+            if other is inst or not other.touches_memory():
+                continue
+            if not dom.dominates(inst, other):
+                return False
+            if aa.mod_ref(other, inst.pointer) is not ModRefResult.NO_MOD_REF:
+                return False
+        # "Ensure no memory def/use would be invalidated by hoisting."
+        # Without a MemorySSA walker the conservative answer is: any store
+        # to may-aliasing memory anywhere in the function blocks hoisting.
+        fn = inst.function()
+        for other in fn.instructions():
+            if other is inst or not isinstance(other, Store):
+                continue
+            if loop.contains(other):
+                return False
+        return True
+    if isinstance(inst, Call):
+        callee = inst.called_function()
+        # "if AA.getModRefBehavior(call) != NoMod: return False"
+        if callee is None or "pure" not in callee.attributes:
+            return False
+        # "if not onlyMemoryAccessesAreArguments(call): return False" —
+        # pure intrinsics qualify by definition.
+        # "for A of call: for sL in L.subLoops: for sI in sL: ..."
+        for argument in inst.args:
+            if not argument.type.is_pointer():
+                continue
+            for sub_loop in loop.sub_loops():
+                for sub_inst in sub_loop.instructions():
+                    if sub_inst.may_write_memory():
+                        if aa.mod_ref(sub_inst, argument) & ModRefResult.MOD:
+                            return False
+        return True
+    return True
+
+
+def invariants_llvm(
+    loop: NaturalLoop, dom: DominatorTree, aa: AliasAnalysis
+) -> list[Instruction]:
+    """All instructions Algorithm 1 accepts, in program order."""
+    return [
+        inst
+        for inst in loop.instructions()
+        if is_invariant_llvm(inst, loop, dom, aa)
+    ]

@@ -1,0 +1,107 @@
+"""repro.core — the NOELLE abstraction layer (the paper's Table 1).
+
+One module per abstraction:
+
+========================  ==========================================
+Abstraction (paper name)  Module
+========================  ==========================================
+PDG                       :mod:`repro.core.pdg` (+ :mod:`depgraph`)
+aSCCDAG                   :mod:`repro.core.sccdag`
+Call graph (CG)           :mod:`repro.core.callgraph`
+Environment (ENV)         :mod:`repro.core.environment`
+Task (T)                  :mod:`repro.core.task`
+Data-flow engine (DFE)    :mod:`repro.core.dataflow`
+Loop structure (LS)       :mod:`repro.core.loopstructure`
+Profiler (PRO)            :mod:`repro.core.profiler`
+Scheduler (SCD)           :mod:`repro.core.scheduler`
+Invariant (INV)           :mod:`repro.core.invariants`
+Induction variable (IV)   :mod:`repro.core.induction`
+IV stepper (IVS)          :mod:`repro.core.ivstepper`
+Reduction (RD)            :mod:`repro.core.reduction`
+Loop (L)                  :mod:`repro.core.loop`
+Forest (FR)               :mod:`repro.core.forest`
+Loop builder (LB)         :mod:`repro.core.loopbuilder`
+Islands (ISL)             :mod:`repro.core.islands`
+Architecture (AR)         :mod:`repro.core.architecture`
+IDs / metadata            :mod:`repro.core.metadata`
+========================  ==========================================
+
+:class:`repro.core.noelle.Noelle` is the demand-driven facade tying them
+together.
+"""
+
+from .architecture import ArchitectureDescription
+from .callgraph import CallEdge, CallGraph
+from .dataflow import (
+    DataFlowEngine,
+    DataFlowProblem,
+    DataFlowResult,
+    liveness,
+    reaching_definitions,
+)
+from .depgraph import DependenceGraph, DGEdge, DGNode
+from .environment import Environment, EnvironmentBuilder
+from .forest import Forest, TreeNode
+from .induction import InductionVariable, InductionVariableManager
+from .invariants import InvariantManager
+from .islands import connected_components, dependence_graph_islands
+from .ivstepper import InductionVariableStepper, IVStepperError
+from .loop import Loop
+from .loopbuilder import LoopBuilder
+from .loopstructure import LoopStructure
+from .metadata import IDAssigner, clean_noelle_metadata
+from .noelle import Noelle
+from .partitioner import Partition, SCCDAGPartitioner
+from .pdg import PDG, LoopDG
+from .profiler import ProfileData, Profiler, embed_profile
+from .reduction import ReductionDescriptor, match_reduction
+from .sccdag import SCC, SCCDAG
+from .scheduler import BasicBlockScheduler, LoopScheduler, Scheduler
+from .task import Task, make_task_function
+
+__all__ = [
+    "ArchitectureDescription",
+    "CallEdge",
+    "CallGraph",
+    "DataFlowEngine",
+    "DataFlowProblem",
+    "DataFlowResult",
+    "liveness",
+    "reaching_definitions",
+    "DependenceGraph",
+    "DGEdge",
+    "DGNode",
+    "Environment",
+    "EnvironmentBuilder",
+    "Forest",
+    "TreeNode",
+    "InductionVariable",
+    "InductionVariableManager",
+    "InvariantManager",
+    "connected_components",
+    "dependence_graph_islands",
+    "InductionVariableStepper",
+    "IVStepperError",
+    "Loop",
+    "LoopBuilder",
+    "LoopStructure",
+    "IDAssigner",
+    "clean_noelle_metadata",
+    "Noelle",
+    "Partition",
+    "SCCDAGPartitioner",
+    "PDG",
+    "LoopDG",
+    "ProfileData",
+    "Profiler",
+    "embed_profile",
+    "ReductionDescriptor",
+    "match_reduction",
+    "SCC",
+    "SCCDAG",
+    "BasicBlockScheduler",
+    "LoopScheduler",
+    "Scheduler",
+    "Task",
+    "make_task_function",
+]

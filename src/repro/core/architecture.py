@@ -1,0 +1,83 @@
+"""The architecture abstraction (Table 1, "AR").
+
+Describes the machine a parallelized program will run on: logical and
+physical cores, their mapping, NUMA nodes, and the measured core-to-core
+communication latencies and bandwidths.  In the paper this is produced by
+``noelle-arch``, which benchmarks the real machine (via hwloc); here the
+machine is the simulator in :mod:`repro.runtime.machine`, and the
+measurement tool probes it the same way (send a token core-to-core, time
+it), so the description stays honest with respect to what the parallel
+runtime will actually pay.
+"""
+
+from __future__ import annotations
+
+
+class ArchitectureDescription:
+    """A machine description consumed by HELIX/DSWP/DOALL."""
+
+    def __init__(
+        self,
+        num_physical_cores: int,
+        smt_ways: int = 1,
+        numa_nodes: int = 1,
+        core_to_core_latency: dict[tuple[int, int], int] | None = None,
+        core_to_core_bandwidth: dict[tuple[int, int], float] | None = None,
+        default_latency: int = 40,
+        default_bandwidth: float = 8.0,
+    ):
+        self.num_physical_cores = num_physical_cores
+        self.smt_ways = smt_ways
+        self.numa_nodes = numa_nodes
+        self._latency = core_to_core_latency or {}
+        self._bandwidth = core_to_core_bandwidth or {}
+        self.default_latency = default_latency
+        self.default_bandwidth = default_bandwidth
+
+    @property
+    def num_logical_cores(self) -> int:
+        return self.num_physical_cores * self.smt_ways
+
+    def physical_core_of(self, logical: int) -> int:
+        """Logical cores are numbered physical-major (hwloc-style)."""
+        return logical % self.num_physical_cores
+
+    def numa_node_of(self, logical: int) -> int:
+        cores_per_node = max(1, self.num_physical_cores // self.numa_nodes)
+        return self.physical_core_of(logical) // cores_per_node
+
+    def latency(self, src: int, dst: int) -> int:
+        """Cycles for a value to travel from core ``src`` to core ``dst``."""
+        if src == dst:
+            return 0
+        key = (min(src, dst), max(src, dst))
+        base = self._latency.get(key, self.default_latency)
+        if self.numa_node_of(src) != self.numa_node_of(dst):
+            base = int(base * 2.5)  # cross-socket penalty
+        return base
+
+    def bandwidth(self, src: int, dst: int) -> float:
+        """Values per cycle sustainable between two cores."""
+        if src == dst:
+            return float("inf")
+        key = (min(src, dst), max(src, dst))
+        return self._bandwidth.get(key, self.default_bandwidth)
+
+    def set_latency(self, src: int, dst: int, cycles: int) -> None:
+        self._latency[(min(src, dst), max(src, dst))] = cycles
+
+    def set_bandwidth(self, src: int, dst: int, values_per_cycle: float) -> None:
+        self._bandwidth[(min(src, dst), max(src, dst))] = values_per_cycle
+
+    @classmethod
+    def haswell_like(cls) -> "ArchitectureDescription":
+        """A description shaped after the paper's evaluation platform:
+        12 physical cores, 2-way SMT, one NUMA node."""
+        return cls(num_physical_cores=12, smt_ways=2, numa_nodes=1,
+                   default_latency=40)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<Architecture {self.num_physical_cores}c x{self.smt_ways}smt "
+            f"{self.numa_nodes}numa>"
+        )

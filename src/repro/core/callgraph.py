@@ -1,0 +1,126 @@
+"""The complete program call graph (Table 1, "CG").
+
+Unlike LLVM's call graph, NOELLE's is *complete*: indirect calls are
+resolved to their possible callees through the points-to layer (the same
+machinery that powers the PDG).  Completeness is what lets custom tools
+treat a missing edge as proof that one function cannot call another —
+the property DeadFunctionElimination relies on to delete functions.
+
+Edges are **must** (a direct call, or an indirect call with exactly one
+possible target) or **may** (several possible targets), and each edge
+carries sub-edges naming the call instructions realizing it.
+"""
+
+from __future__ import annotations
+
+from ..analysis.pointsto import PointsToAnalysis
+from ..ir.instructions import Call
+from ..ir.module import Function, Module
+
+
+class CallEdge:
+    """caller -> callee, with the call sites realizing it."""
+
+    def __init__(self, caller: Function, callee: Function, is_must: bool):
+        self.caller = caller
+        self.callee = callee
+        self.is_must = is_must
+        #: Sub-edges: the specific call instructions of this caller-callee pair.
+        self.call_sites: list[Call] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "must" if self.is_must else "may"
+        return f"<call {self.caller.name} -> {self.callee.name} ({kind})>"
+
+
+class CallGraph:
+    """The complete call graph of one module."""
+
+    def __init__(self, module: Module, pointsto: PointsToAnalysis):
+        self.module = module
+        self.pointsto = pointsto
+        self._outgoing: dict[int, list[CallEdge]] = {}
+        self._incoming: dict[int, list[CallEdge]] = {}
+        self._edge_index: dict[tuple[int, int], CallEdge] = {}
+        #: Calls whose target set could not be resolved at all.
+        self.unresolved_calls: list[Call] = []
+        self._build()
+
+    def _build(self) -> None:
+        for fn in self.module.functions.values():
+            self._outgoing.setdefault(id(fn), [])
+            self._incoming.setdefault(id(fn), [])
+        for fn in self.module.defined_functions():
+            for inst in fn.instructions():
+                if not isinstance(inst, Call):
+                    continue
+                targets = self.pointsto.callees_of(inst)
+                if not targets:
+                    self.unresolved_calls.append(inst)
+                    continue
+                is_must = len(targets) == 1
+                for callee in targets:
+                    self._add_edge(fn, callee, inst, is_must)
+
+    def _add_edge(self, caller: Function, callee: Function, site: Call, is_must: bool):
+        key = (id(caller), id(callee))
+        edge = self._edge_index.get(key)
+        if edge is None:
+            edge = CallEdge(caller, callee, is_must)
+            self._edge_index[key] = edge
+            self._outgoing[id(caller)].append(edge)
+            self._incoming[id(callee)].append(edge)
+        edge.is_must = edge.is_must and is_must
+        edge.call_sites.append(site)
+
+    # -- queries --------------------------------------------------------------------
+    def callees_of(self, fn: Function) -> list[CallEdge]:
+        return list(self._outgoing.get(id(fn), []))
+
+    def callers_of(self, fn: Function) -> list[CallEdge]:
+        return list(self._incoming.get(id(fn), []))
+
+    def possible_callees(self, call: Call) -> list[Function]:
+        return self.pointsto.callees_of(call)
+
+    def is_complete(self) -> bool:
+        """True when every call site resolved to at least one target."""
+        return not self.unresolved_calls
+
+    def reachable_from(self, roots: list[Function]) -> set[int]:
+        """ids of all functions transitively callable from ``roots``."""
+        reachable: set[int] = set()
+        worklist = list(roots)
+        while worklist:
+            fn = worklist.pop()
+            if id(fn) in reachable:
+                continue
+            reachable.add(id(fn))
+            for edge in self.callees_of(fn):
+                if id(edge.callee) not in reachable:
+                    worklist.append(edge.callee)
+        return reachable
+
+    def islands(self) -> list[list[Function]]:
+        """Disconnected components of the (undirected) call graph.
+
+        The ISL abstraction works over any graph; the call graph exposes it
+        directly because DEAD and COOS consume it here.
+        """
+        from .islands import connected_components
+
+        functions = list(self.module.functions.values())
+        neighbors: dict[int, list[Function]] = {id(f): [] for f in functions}
+        for edge in self._edge_index.values():
+            neighbors[id(edge.caller)].append(edge.callee)
+            neighbors[id(edge.callee)].append(edge.caller)
+        return connected_components(functions, neighbors)
+
+    def is_recursive(self, fn: Function) -> bool:
+        """Can ``fn`` reach itself through calls?"""
+        return id(fn) in self.reachable_from(
+            [e.callee for e in self.callees_of(fn)]
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CallGraph {len(self._edge_index)} edges>"

@@ -1,0 +1,224 @@
+"""The generic *dependence graph* template (Section 2.2, "PDG").
+
+NOELLE's PDG is an instantiation of a templated dependence-graph class:
+what constitutes a node is decided at instantiation (instructions for the
+PDG, functions for the call graph, SCCs for the SCCDAG).  Edges carry
+attributes distinguishing control from data dependences; data dependences
+are further characterized by kind (RAW/WAW/WAR), memory vs register,
+loop-carried or not, and apparent (may) vs actual (must).
+
+The graph also distinguishes *internal* from *external* nodes: internal
+nodes belong to the code region the graph describes (e.g. a loop), external
+nodes are its live-ins/live-outs — exactly the split a parallelizing
+transformation needs.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Hashable, Iterator, TypeVar
+
+T = TypeVar("T", bound=Hashable)
+
+
+class DGEdge(Generic[T]):
+    """A directed dependence from ``src`` to ``dst`` (dst depends on src)."""
+
+    __slots__ = ("src", "dst", "kind", "data_kind", "is_memory", "is_must",
+                 "is_loop_carried")
+
+    def __init__(
+        self,
+        src: "DGNode[T]",
+        dst: "DGNode[T]",
+        kind: str,
+        data_kind: str | None = None,
+        is_memory: bool = False,
+        is_must: bool = False,
+        is_loop_carried: bool = False,
+    ):
+        if kind not in ("data", "control"):
+            raise ValueError(f"bad edge kind {kind!r}")
+        if kind == "data" and data_kind not in ("RAW", "WAW", "WAR"):
+            raise ValueError(f"bad data dependence kind {data_kind!r}")
+        self.src = src
+        self.dst = dst
+        self.kind = kind
+        self.data_kind = data_kind
+        self.is_memory = is_memory
+        #: Actual (proved) vs apparent (may) dependence.
+        self.is_must = is_must
+        self.is_loop_carried = is_loop_carried
+
+    def is_data(self) -> bool:
+        return self.kind == "data"
+
+    def is_control(self) -> bool:
+        return self.kind == "control"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tags = [self.kind]
+        if self.data_kind:
+            tags.append(self.data_kind)
+        if self.is_memory:
+            tags.append("mem")
+        if self.is_loop_carried:
+            tags.append("carried")
+        return f"<edge {self.src.value!r} -> {self.dst.value!r} [{' '.join(tags)}]>"
+
+
+class DGNode(Generic[T]):
+    """A node wrapping one value of the instantiating type."""
+
+    __slots__ = ("value", "is_internal", "outgoing", "incoming")
+
+    def __init__(self, value: T, is_internal: bool = True):
+        self.value = value
+        self.is_internal = is_internal
+        self.outgoing: list[DGEdge[T]] = []
+        self.incoming: list[DGEdge[T]] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        role = "internal" if self.is_internal else "external"
+        return f"<node {self.value!r} ({role})>"
+
+
+class DependenceGraph(Generic[T]):
+    """A directed multigraph of dependences between nodes of type ``T``."""
+
+    def __init__(self) -> None:
+        self._nodes: dict[int, DGNode[T]] = {}
+        self._edges: list[DGEdge[T]] = []
+
+    # -- nodes --------------------------------------------------------------------
+    def add_node(self, value: T, internal: bool = True) -> DGNode[T]:
+        node = self._nodes.get(id(value))
+        if node is None:
+            node = DGNode(value, internal)
+            self._nodes[id(value)] = node
+        else:
+            node.is_internal = node.is_internal or internal
+        return node
+
+    def node_of(self, value: T) -> DGNode[T] | None:
+        return self._nodes.get(id(value))
+
+    def has_node(self, value: T) -> bool:
+        return id(value) in self._nodes
+
+    def nodes(self) -> Iterator[DGNode[T]]:
+        return iter(self._nodes.values())
+
+    def internal_nodes(self) -> list[DGNode[T]]:
+        return [n for n in self._nodes.values() if n.is_internal]
+
+    def external_nodes(self) -> list[DGNode[T]]:
+        return [n for n in self._nodes.values() if not n.is_internal]
+
+    def num_nodes(self) -> int:
+        return len(self._nodes)
+
+    def remove_node(self, value: T) -> None:
+        node = self._nodes.pop(id(value), None)
+        if node is None:
+            return
+        for edge in list(node.outgoing):
+            self.remove_edge(edge)
+        for edge in list(node.incoming):
+            self.remove_edge(edge)
+
+    # -- edges ---------------------------------------------------------------------
+    def add_edge(
+        self,
+        src: T,
+        dst: T,
+        kind: str,
+        data_kind: str | None = None,
+        is_memory: bool = False,
+        is_must: bool = False,
+        is_loop_carried: bool = False,
+    ) -> DGEdge[T]:
+        src_node = self._nodes.get(id(src))
+        if src_node is None:
+            src_node = self.add_node(src)
+        dst_node = self._nodes.get(id(dst))
+        if dst_node is None:
+            dst_node = self.add_node(dst)
+        edge = DGEdge(
+            src_node,
+            dst_node,
+            kind,
+            data_kind,
+            is_memory,
+            is_must,
+            is_loop_carried,
+        )
+        src_node.outgoing.append(edge)
+        dst_node.incoming.append(edge)
+        self._edges.append(edge)
+        return edge
+
+    def remove_edge(self, edge: DGEdge[T]) -> None:
+        if edge in edge.src.outgoing:
+            edge.src.outgoing.remove(edge)
+        if edge in edge.dst.incoming:
+            edge.dst.incoming.remove(edge)
+        if edge in self._edges:
+            self._edges.remove(edge)
+
+    def edges(self) -> list[DGEdge[T]]:
+        return list(self._edges)
+
+    def num_edges(self) -> int:
+        return len(self._edges)
+
+    def edges_between(self, src: T, dst: T) -> list[DGEdge[T]]:
+        src_node = self._nodes.get(id(src))
+        if src_node is None:
+            return []
+        return [e for e in src_node.outgoing if e.dst.value is dst]
+
+    # -- dependence queries --------------------------------------------------------
+    def dependences_of(self, value: T) -> list[DGEdge[T]]:
+        """Edges from values ``value`` depends on (its incoming edges)."""
+        node = self._nodes.get(id(value))
+        return list(node.incoming) if node is not None else []
+
+    def dependents_of(self, value: T) -> list[DGEdge[T]]:
+        """Edges to values that depend on ``value``."""
+        node = self._nodes.get(id(value))
+        return list(node.outgoing) if node is not None else []
+
+    # -- derived graphs --------------------------------------------------------------
+    def subgraph(self, internal_values: list[T]) -> "DependenceGraph[T]":
+        """Project the graph onto ``internal_values``.
+
+        Nodes outside the set that touch it are kept as *external* nodes —
+        they are the region's live-ins/live-outs.
+        """
+        internal_ids = {id(v) for v in internal_values}
+        result: DependenceGraph[T] = DependenceGraph()
+        for value in internal_values:
+            if id(value) in self._nodes:
+                result.add_node(value, internal=True)
+        for edge in self._edges:
+            src_in = id(edge.src.value) in internal_ids
+            dst_in = id(edge.dst.value) in internal_ids
+            if not (src_in or dst_in):
+                continue
+            if not src_in:
+                result.add_node(edge.src.value, internal=False)
+            if not dst_in:
+                result.add_node(edge.dst.value, internal=False)
+            result.add_edge(
+                edge.src.value,
+                edge.dst.value,
+                edge.kind,
+                edge.data_kind,
+                edge.is_memory,
+                edge.is_must,
+                edge.is_loop_carried,
+            )
+        return result
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<DependenceGraph {len(self._nodes)} nodes, {len(self._edges)} edges>"

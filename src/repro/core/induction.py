@@ -1,0 +1,187 @@
+"""The induction variable abstraction (Table 1, "IV").
+
+An induction variable of a loop is, in SSA, an SCC of the loop's aSCCDAG:
+the header phi plus the update chain.  NOELLE's abstraction exposes that
+SCC, the start value, the per-iteration step, and whether the IV *governs*
+the loop (controls how many iterations run).
+
+The detection of governing IVs works for **any** loop shape because it
+reasons over the aSCCDAG and the exit condition's dependences.  LLVM's
+counterpart (:mod:`repro.baselines.induction_llvm`) pattern-matches
+do-while-shaped loops only — which is why it finds 11 governing IVs where
+NOELLE finds 385 across the paper's 41 benchmarks (Section 4.3).
+"""
+
+from __future__ import annotations
+
+from ..analysis.loopinfo import NaturalLoop
+from ..analysis.scev import SCEVAddRec, ScalarEvolution
+from ..ir.instructions import CmpInst, CondBranch, Instruction, Phi
+from ..ir.values import Value
+from .sccdag import SCC, SCCDAG
+
+
+class InductionVariable:
+    """One induction variable: its SCC, start, step, and role."""
+
+    def __init__(
+        self,
+        loop: NaturalLoop,
+        phi: Phi,
+        scc: SCC | None,
+        start: Value,
+        step: Value | int,
+    ):
+        self.loop = loop
+        self.phi = phi
+        #: The aSCCDAG SCC embodying this IV (None when no SCCDAG was built).
+        self.scc = scc
+        self.start = start
+        #: Either a constant int step or the loop-invariant step value.
+        self.step = step
+        self.is_governing = False
+        #: The compare instruction of the exit this IV governs (if any).
+        self.exit_compare: CmpInst | None = None
+        #: Derived IVs relate to a parent (e.g. ``j = 4*i``).
+        self.derived_from: "InductionVariable | None" = None
+
+    def constant_step(self) -> int | None:
+        return self.step if isinstance(self.step, int) else None
+
+    def update_instructions(self) -> list[Instruction]:
+        if self.scc is not None:
+            return [i for i in self.scc.instructions if i is not self.phi]
+        return [
+            v
+            for v, pred in self.phi.incoming()
+            if isinstance(v, Instruction) and self.loop.contains_block(pred)
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        governing = " governing" if self.is_governing else ""
+        return f"<IV {self.phi.ref()} step={self.step!r}{governing}>"
+
+
+class InductionVariableManager:
+    """Detects the induction variables of one loop."""
+
+    def __init__(self, loop: NaturalLoop, sccdag: SCCDAG | None = None):
+        self.loop = loop
+        self.sccdag = sccdag
+        self.scev = ScalarEvolution(loop)
+        self.ivs: list[InductionVariable] = []
+        self._detect()
+        self._detect_governing()
+        self._detect_derived()
+
+    # -- detection ------------------------------------------------------------------
+    def _detect(self) -> None:
+        for phi in self.loop.header.phis():
+            if not phi.type.is_integer():
+                continue
+            evolution = self.scev.evolution_of(phi)
+            if not isinstance(evolution, SCEVAddRec):
+                continue
+            start = self._start_value(phi)
+            step = evolution.constant_step()
+            if step is None:
+                step_value = self._step_value(phi)
+                if step_value is None:
+                    continue
+                step = step_value
+            scc = self.sccdag.scc_of(phi) if self.sccdag is not None else None
+            self.ivs.append(InductionVariable(self.loop, phi, scc, start, step))
+
+    def _start_value(self, phi: Phi) -> Value:
+        for value, pred in phi.incoming():
+            if not self.loop.contains_block(pred):
+                return value
+        raise ValueError(f"header phi {phi.ref()} has no entry edge")
+
+    def _step_value(self, phi: Phi) -> Value | None:
+        """The loop-invariant (but non-constant) step, if recognizable."""
+        from ..ir.instructions import BinaryOp
+
+        for value, pred in phi.incoming():
+            if self.loop.contains_block(pred) and isinstance(value, BinaryOp):
+                if value.opcode == "add":
+                    other = value.rhs if value.lhs is phi else value.lhs
+                    if not (
+                        isinstance(other, Instruction) and self.loop.contains(other)
+                    ):
+                        return other
+        return None
+
+    def _detect_governing(self) -> None:
+        """Find IVs that control the loop's iteration count.
+
+        Works on any loop shape: examine every exiting branch; if its
+        condition is a compare between an IV's SCC value and a
+        loop-invariant bound, that IV governs the exit.
+        """
+        for exiting in self.loop.exiting_blocks():
+            term = exiting.terminator
+            if not isinstance(term, CondBranch):
+                continue
+            condition = term.condition
+            if not isinstance(condition, CmpInst):
+                continue
+            iv = self._iv_of_compare(condition)
+            if iv is not None:
+                iv.is_governing = True
+                iv.exit_compare = condition
+
+    def _iv_of_compare(self, compare: CmpInst) -> InductionVariable | None:
+        from ..analysis.scev import evolution_is_invariant
+
+        for operand, other in ((compare.lhs, compare.rhs), (compare.rhs, compare.lhs)):
+            iv = self._iv_producing(operand)
+            if iv is None:
+                continue
+            if isinstance(other, Instruction) and self.loop.contains(other):
+                # A bound recomputed in the loop still governs when its
+                # evolution is invariant (e.g. ``n - width - 1``).
+                if self._iv_producing(other) is None and not (
+                    evolution_is_invariant(self.scev.evolution_of(other))
+                ):
+                    continue  # bound truly varies: not governing
+            return iv
+        return None
+
+    def _iv_producing(self, value: Value) -> InductionVariable | None:
+        """The IV whose SCC produces ``value``, looking through its chain."""
+        for iv in self.ivs:
+            if value is iv.phi:
+                return iv
+            if iv.scc is not None and isinstance(value, Instruction):
+                if iv.scc.contains(value):
+                    return iv
+            elif isinstance(value, Instruction) and value in iv.update_instructions():
+                return iv
+        # A value with an affine evolution in lockstep with an IV also
+        # exposes it (e.g. comparing i+1 against n in a rotated loop).
+        if isinstance(value, Instruction) and self.loop.contains(value):
+            evolution = self.scev.evolution_of(value)
+            if isinstance(evolution, SCEVAddRec) and self.ivs:
+                return self.ivs[0] if len(self.ivs) == 1 else None
+        return None
+
+    def _detect_derived(self) -> None:
+        """Relate IVs whose evolutions are affine in another IV's steps."""
+        constant_ivs = [iv for iv in self.ivs if iv.constant_step() is not None]
+        for iv in constant_ivs:
+            for other in constant_ivs:
+                if iv is other or other.derived_from is not None:
+                    continue
+                step_a, step_b = iv.constant_step(), other.constant_step()
+                if step_a and step_b and step_b % step_a == 0 and step_b != step_a:
+                    other.derived_from = iv
+
+    # -- queries --------------------------------------------------------------------
+    def governing_iv(self) -> InductionVariable | None:
+        """The governing induction variable, if a unique one exists."""
+        governing = [iv for iv in self.ivs if iv.is_governing]
+        return governing[0] if len(governing) == 1 else None
+
+    def all_ivs(self) -> list[InductionVariable]:
+        return list(self.ivs)

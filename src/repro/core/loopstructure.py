@@ -1,0 +1,104 @@
+"""The loop structure abstraction (Table 1, "LS").
+
+Equivalent to LLVM's loop abstraction, but — as the paper stresses — with
+user-controlled lifetime: LLVM's loop info is owned by a function pass and
+silently freed when the pass moves on, which breaks module passes that
+cache it.  These objects are plain Python values owned by their creator.
+"""
+
+from __future__ import annotations
+
+from ..analysis.loopinfo import NaturalLoop
+from ..ir.instructions import Instruction
+from ..ir.module import BasicBlock, Function
+
+
+class LoopStructure:
+    """Structural queries over one natural loop."""
+
+    def __init__(self, loop: NaturalLoop, loop_id: int = -1):
+        self._loop = loop
+        #: Deterministic ID assigned by the metadata layer (IDs abstraction).
+        self.loop_id = loop_id
+        #: Extendible metadata attached to the loop (hotness, options, ...).
+        self.metadata: dict[str, object] = {}
+
+    # -- structure ------------------------------------------------------------------
+    @property
+    def header(self) -> BasicBlock:
+        return self._loop.header
+
+    @property
+    def function(self) -> Function:
+        assert self._loop.header.parent is not None
+        return self._loop.header.parent
+
+    def basic_blocks(self) -> list[BasicBlock]:
+        return list(self._loop.blocks)
+
+    def num_blocks(self) -> int:
+        return len(self._loop.blocks)
+
+    def instructions(self):
+        return self._loop.instructions()
+
+    def num_instructions(self) -> int:
+        return self._loop.num_instructions()
+
+    def latches(self) -> list[BasicBlock]:
+        return self._loop.latches()
+
+    def pre_header(self) -> BasicBlock | None:
+        """The unique out-of-loop predecessor of the header, if it exists.
+
+        Creating one when missing is the loop builder's job
+        (:meth:`repro.core.loopbuilder.LoopBuilder.ensure_pre_header`).
+        """
+        entries = self._loop.entries()
+        if len(entries) == 1 and len(entries[0].successors()) == 1:
+            return entries[0]
+        return None
+
+    def exiting_blocks(self) -> list[BasicBlock]:
+        return self._loop.exiting_blocks()
+
+    def exit_blocks(self) -> list[BasicBlock]:
+        return self._loop.exit_blocks()
+
+    def contains(self, inst: Instruction) -> bool:
+        return self._loop.contains(inst)
+
+    def contains_block(self, block: BasicBlock) -> bool:
+        return self._loop.contains_block(block)
+
+    def depth(self) -> int:
+        return self._loop.depth()
+
+    @property
+    def natural_loop(self) -> NaturalLoop:
+        """Escape hatch to the underlying CFG-level loop."""
+        return self._loop
+
+    # -- shape ---------------------------------------------------------------------
+    def is_do_while_shaped(self) -> bool:
+        """True when the loop's exit condition sits in a latch.
+
+        LLVM's induction-variable machinery expects this shape; most
+        source-level ``while``/``for`` loops are *not* shaped this way,
+        which is why LLVM finds so few governing IVs (Section 4.3).
+        """
+        latch_ids = {id(b) for b in self.latches()}
+        exiting = self.exiting_blocks()
+        return bool(exiting) and all(id(b) in latch_ids for b in exiting)
+
+    def is_while_shaped(self) -> bool:
+        """True when the header itself decides whether to run an iteration."""
+        return any(
+            not self.contains_block(s) for s in self.header.successors()
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<LoopStructure header=%{self.header.name} "
+            f"blocks={self.num_blocks()} depth={self.depth()}>"
+        )

@@ -1,0 +1,77 @@
+"""Deterministic IDs and extendible metadata (Section 2.2, "Others").
+
+NOELLE attaches deterministic IDs to instructions, basic blocks, loops, and
+functions so abstractions can be serialized into IR metadata (the
+``noelle-meta-*`` tools) and reconstructed later without re-running
+expensive analyses.  IDs are assigned in a canonical traversal order, so
+the same module always gets the same IDs.
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Instruction
+from ..ir.module import BasicBlock, Function, Module
+
+INSTRUCTION_ID_KEY = "noelle.id"
+FUNCTION_ID_KEY = "noelle.function.id"
+
+
+class IDAssigner:
+    """Assigns and resolves deterministic IDs for one module."""
+
+    def __init__(self, module: Module):
+        self.module = module
+        self.instruction_ids: dict[int, int] = {}
+        self.block_ids: dict[int, int] = {}
+        self.function_ids: dict[int, int] = {}
+        self._instruction_by_id: dict[int, Instruction] = {}
+        self._assign()
+
+    def _assign(self) -> None:
+        next_inst = 0
+        next_block = 0
+        for fn_index, fn in enumerate(sorted(self.module.functions.values(),
+                                             key=lambda f: f.name)):
+            self.function_ids[id(fn)] = fn_index
+            fn.metadata[FUNCTION_ID_KEY] = fn_index
+            for block in fn.blocks:
+                self.block_ids[id(block)] = next_block
+                next_block += 1
+                for inst in block.instructions:
+                    self.instruction_ids[id(inst)] = next_inst
+                    inst.metadata[INSTRUCTION_ID_KEY] = next_inst
+                    self._instruction_by_id[next_inst] = inst
+                    next_inst += 1
+
+    # -- queries -----------------------------------------------------------------
+    def id_of_instruction(self, inst: Instruction) -> int:
+        return self.instruction_ids[id(inst)]
+
+    def id_of_block(self, block: BasicBlock) -> int:
+        return self.block_ids[id(block)]
+
+    def id_of_function(self, fn: Function) -> int:
+        return self.function_ids[id(fn)]
+
+    def instruction_by_id(self, ident: int) -> Instruction:
+        return self._instruction_by_id[ident]
+
+
+def clean_noelle_metadata(module: Module) -> int:
+    """Strip all ``noelle.*`` metadata (the ``noelle-meta-clean`` tool).
+
+    Returns how many metadata entries were removed.
+    """
+    removed = 0
+    for key in [k for k in module.metadata if str(k).startswith("noelle.")]:
+        del module.metadata[key]
+        removed += 1
+    for fn in module.functions.values():
+        for key in [k for k in fn.metadata if str(k).startswith("noelle.")]:
+            del fn.metadata[key]
+            removed += 1
+        for inst in fn.instructions():
+            for key in [k for k in inst.metadata if str(k).startswith("noelle.")]:
+                del inst.metadata[key]
+                removed += 1
+    return removed

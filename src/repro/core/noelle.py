@@ -1,0 +1,199 @@
+"""The NOELLE facade: demand-driven access to every abstraction.
+
+``Noelle`` is what a custom tool receives from ``noelle-load``: one object
+giving access to the PDG, the call graph, loops, the data-flow engine, the
+scheduler, environments, tasks, profiles, and the architecture description.
+Every abstraction is computed lazily and cached — users "only pay for the
+abstractions they need" (Section 2.2) — and the expensive PDG can be
+rehydrated from metadata embedded by ``noelle-meta-pdg-embed`` instead of
+recomputed.
+"""
+
+from __future__ import annotations
+
+from ..analysis.aa import AliasAnalysis, BasicAliasAnalysis
+from ..analysis.dominators import DominatorTree, PostDominatorTree
+from ..analysis.loopinfo import LoopInfo, NaturalLoop
+from ..analysis.pointsto import AndersenAliasAnalysis, PointsToAnalysis
+from ..ir.module import Function, Module
+from .architecture import ArchitectureDescription
+from .callgraph import CallGraph
+from .dataflow import DataFlowEngine
+from .environment import EnvironmentBuilder
+from .forest import Forest
+from .loop import Loop
+from .loopbuilder import LoopBuilder
+from .metadata import IDAssigner
+from .pdg import PDG
+from .profiler import ProfileData, Profiler
+from .scheduler import BasicBlockScheduler, LoopScheduler, Scheduler
+
+
+class Noelle:
+    """Demand-driven entry point to the NOELLE abstraction layer."""
+
+    def __init__(
+        self,
+        module: Module,
+        architecture: ArchitectureDescription | None = None,
+        profile: ProfileData | None = None,
+        minimum_hotness: float = 0.0,
+    ):
+        self.module = module
+        self._architecture = architecture
+        self._profile = profile
+        #: Loops colder than this are not offered to transformation tools.
+        self.minimum_hotness = minimum_hotness
+        self._aa: AliasAnalysis | None = None
+        self._pdg: PDG | None = None
+        self._callgraph: CallGraph | None = None
+        self._pointsto: PointsToAnalysis | None = None
+        self._loopinfos: dict[int, LoopInfo] = {}
+        self._loops: list[Loop] | None = None
+        self._ids: IDAssigner | None = None
+        self._dfe: DataFlowEngine | None = None
+        self._env_builder: EnvironmentBuilder | None = None
+
+    # -- analyses ----------------------------------------------------------------------
+    def alias_analysis(self) -> AliasAnalysis:
+        """The strong AA stack powering the PDG (the SCAF/SVF stand-in)."""
+        if self._aa is None:
+            self._aa = AndersenAliasAnalysis(self.module)
+        return self._aa
+
+    def points_to(self) -> PointsToAnalysis:
+        if self._pointsto is None:
+            aa = self.alias_analysis()
+            if isinstance(aa, AndersenAliasAnalysis):
+                self._pointsto = aa.pointsto
+            else:
+                self._pointsto = PointsToAnalysis(self.module)
+        return self._pointsto
+
+    def pdg(self) -> PDG:
+        """The program dependence graph (computed on first request)."""
+        if self._pdg is None:
+            self._pdg = PDG(self.module, self.alias_analysis())
+        return self._pdg
+
+    def call_graph(self) -> CallGraph:
+        if self._callgraph is None:
+            self._callgraph = CallGraph(self.module, self.points_to())
+        return self._callgraph
+
+    def dominators(self, fn: Function) -> DominatorTree:
+        return DominatorTree(fn)
+
+    def post_dominators(self, fn: Function) -> PostDominatorTree:
+        return PostDominatorTree(fn)
+
+    # -- loops --------------------------------------------------------------------------
+    def loop_info(self, fn: Function) -> LoopInfo:
+        info = self._loopinfos.get(id(fn))
+        if info is None:
+            info = LoopInfo(fn)
+            self._loopinfos[id(fn)] = info
+        return info
+
+    def loops(self) -> list[Loop]:
+        """Every loop of the program as a canonical :class:`Loop` (hot-first).
+
+        When a profile is attached, loops colder than ``minimum_hotness``
+        are filtered out — the paper's "minimum hotness required to
+        consider a loop".
+        """
+        if self._loops is None:
+            pdg = self.pdg()
+            result: list[Loop] = []
+            next_id = 0
+            for fn in self.module.defined_functions():
+                for natural in self.loop_info(fn).loops():
+                    result.append(Loop(natural, pdg, next_id))
+                    next_id += 1
+            if self._profile is not None:
+                result = [
+                    loop
+                    for loop in result
+                    if self._profile.loop_hotness(loop.natural_loop)
+                    >= self.minimum_hotness
+                ]
+                result.sort(
+                    key=lambda l: -self._profile.loop_hotness(l.natural_loop)
+                )
+            self._loops = result
+        return self._loops
+
+    def loop_of(self, natural: NaturalLoop) -> Loop:
+        return Loop(natural, self.pdg())
+
+    def loop_forest(self, fn: Function) -> Forest[Loop]:
+        """The loop-nesting forest of ``fn`` over canonical loops (FR)."""
+        forest: Forest[Loop] = Forest()
+        pdg = self.pdg()
+        by_natural: dict[int, Loop] = {}
+        info = self.loop_info(fn)
+        for natural in info.loops():  # outermost first
+            loop = Loop(natural, pdg)
+            by_natural[id(natural)] = loop
+            parent = (
+                by_natural.get(id(natural.parent)) if natural.parent is not None else None
+            )
+            forest.add(loop, parent)
+        return forest
+
+    def loop_builder(self, fn: Function) -> LoopBuilder:
+        return LoopBuilder(fn)
+
+    # -- engines & builders -----------------------------------------------------------
+    def dataflow_engine(self) -> DataFlowEngine:
+        if self._dfe is None:
+            self._dfe = DataFlowEngine()
+        return self._dfe
+
+    def environment_builder(self) -> EnvironmentBuilder:
+        if self._env_builder is None:
+            self._env_builder = EnvironmentBuilder(self.module)
+        return self._env_builder
+
+    def scheduler(self, fn: Function) -> Scheduler:
+        return Scheduler(fn, self.pdg())
+
+    def basic_block_scheduler(self, fn: Function) -> BasicBlockScheduler:
+        return BasicBlockScheduler(fn, self.pdg())
+
+    def loop_scheduler(self, fn: Function) -> LoopScheduler:
+        return LoopScheduler(fn, self.pdg())
+
+    # -- metadata, profiles, architecture ------------------------------------------------
+    def ids(self) -> IDAssigner:
+        if self._ids is None:
+            self._ids = IDAssigner(self.module)
+        return self._ids
+
+    def profile(self) -> ProfileData | None:
+        return self._profile
+
+    def attach_profile(self, profile: ProfileData) -> None:
+        self._profile = profile
+        self._loops = None  # hotness ordering changed
+
+    def run_profiler(self, args: list[object] | None = None) -> ProfileData:
+        profile = Profiler(self.module).profile(args=args)
+        self.attach_profile(profile)
+        return profile
+
+    def architecture(self) -> ArchitectureDescription:
+        if self._architecture is None:
+            self._architecture = ArchitectureDescription.haswell_like()
+        return self._architecture
+
+    # -- cache management ---------------------------------------------------------------
+    def invalidate(self) -> None:
+        """Drop every cached analysis after the module was transformed."""
+        self._aa = None
+        self._pdg = None
+        self._callgraph = None
+        self._pointsto = None
+        self._loopinfos = {}
+        self._loops = None
+        self._ids = None

@@ -1,0 +1,359 @@
+"""The Program Dependence Graph abstraction (Table 1, "PDG").
+
+Instantiates the dependence-graph template with IR instructions.  Edges:
+
+* **register data dependences** — SSA def-use chains (always RAW, must);
+* **memory data dependences** — between memory-touching instruction pairs,
+  classified RAW/WAW/WAR and must/may by the configured alias analysis
+  (the strong Andersen AA by default — the SCAF/SVF stand-in);
+* **control dependences** — from the Ferrante–Ottenstein–Warren relation.
+
+From the program PDG a pass can request *function* and *loop* dependence
+graphs.  Requesting a loop dependence graph triggers the loop-centric
+refinements the paper describes: loop-carried classification of register
+and memory dependences (using scalar evolution on the access addresses) and
+live-in/live-out computation via internal/external nodes.
+"""
+
+from __future__ import annotations
+
+from ..analysis.aa import AliasAnalysis, AliasResult, ModRefResult
+from ..analysis.controldep import ControlDependence
+from ..analysis.loopinfo import NaturalLoop
+from ..analysis.scev import SCEVAddRec, SCEVConstant, SCEVUnknown, ScalarEvolution
+from ..ir.instructions import Call, Instruction, Load, Phi, Store
+from ..ir.module import Function, Module
+from ..ir.values import Value
+from .depgraph import DependenceGraph, DGEdge
+
+
+class PDG(DependenceGraph[Instruction]):
+    """Program dependence graph over all instructions of a module."""
+
+    def __init__(self, module: Module, aa: AliasAnalysis):
+        super().__init__()
+        self.module = module
+        self.aa = aa
+        #: Statistics used by the Figure 3 experiment: how many memory
+        #: instruction pairs were queried and how many were disproved.
+        self.memory_queries = 0
+        self.memory_disproved = 0
+        for fn in module.defined_functions():
+            self._build_function(fn)
+
+    # -- construction ------------------------------------------------------------
+    def _build_function(self, fn: Function) -> None:
+        instructions = list(fn.instructions())
+        for inst in instructions:
+            self.add_node(inst, internal=True)
+        self._add_register_dependences(instructions)
+        self._add_memory_dependences(instructions)
+        self._add_control_dependences(fn)
+
+    def _add_register_dependences(self, instructions: list[Instruction]) -> None:
+        for inst in instructions:
+            for operand in inst.operands:
+                if isinstance(operand, Instruction) and self.has_node(operand):
+                    self.add_edge(
+                        operand, inst, "data", "RAW", is_memory=False, is_must=True
+                    )
+
+    def _add_memory_dependences(self, instructions: list[Instruction]) -> None:
+        memory_insts = [i for i in instructions if i.touches_memory()]
+        for i, earlier in enumerate(memory_insts):
+            for later in memory_insts[i + 1 :]:
+                self._memory_pair(earlier, later)
+
+    def _memory_pair(self, a: Instruction, b: Instruction) -> None:
+        """Add memory dependence edges between an instruction pair.
+
+        The pair is unordered in program terms (they may execute in either
+        order across loop iterations), so both directions are considered.
+        """
+        writes_a, writes_b = a.may_write_memory(), b.may_write_memory()
+        reads_a, reads_b = a.may_read_memory(), b.may_read_memory()
+        if not writes_a and not writes_b:
+            return  # read-read pairs carry no dependence
+        self.memory_queries += 1
+        result = self._query(a, b)
+        if result is None:
+            self.memory_disproved += 1
+            return
+        is_must = result
+        if writes_a and reads_b:
+            self.add_edge(a, b, "data", "RAW", is_memory=True, is_must=is_must)
+        if writes_a and writes_b:
+            self.add_edge(a, b, "data", "WAW", is_memory=True, is_must=is_must)
+        if reads_a and writes_b:
+            self.add_edge(a, b, "data", "WAR", is_memory=True, is_must=is_must)
+
+    def _query(self, a: Instruction, b: Instruction) -> bool | None:
+        """May a and b touch the same memory?  None=no, True=must, False=may."""
+        pointer_a = _pointer_operand(a)
+        pointer_b = _pointer_operand(b)
+        if pointer_a is not None and pointer_b is not None:
+            result = self.aa.alias(pointer_a, pointer_b)
+            if result is AliasResult.NO_ALIAS:
+                return None
+            return result is AliasResult.MUST_ALIAS
+        # At least one side is a call: use mod/ref.
+        if isinstance(a, Call) and pointer_b is not None:
+            if self.aa.mod_ref(a, pointer_b) is ModRefResult.NO_MOD_REF:
+                return None
+            return False
+        if isinstance(b, Call) and pointer_a is not None:
+            if self.aa.mod_ref(b, pointer_a) is ModRefResult.NO_MOD_REF:
+                return None
+            return False
+        if isinstance(a, Call) and isinstance(b, Call):
+            if _calls_independent(self.aa, a, b):
+                return None
+            return False
+        return False
+
+    def _add_control_dependences(self, fn: Function) -> None:
+        cd = ControlDependence(fn)
+        for block in fn.blocks:
+            controllers = cd.controlling_terminators(block)
+            if not controllers:
+                continue
+            for term in controllers:
+                for inst in block.instructions:
+                    self.add_edge(term, inst, "control")
+
+    # -- derived graphs --------------------------------------------------------------
+    def function_dependence_graph(self, fn: Function) -> DependenceGraph[Instruction]:
+        """Dependences restricted to ``fn``; externals are its boundary."""
+        return self.subgraph(list(fn.instructions()))
+
+    def loop_dependence_graph(self, loop: NaturalLoop) -> "LoopDG":
+        """The loop's dependence graph, refined with loop-carried analysis."""
+        return LoopDG(self, loop)
+
+
+class LoopDG(DependenceGraph[Instruction]):
+    """Dependence graph of one loop with loop-carried classification.
+
+    Internal nodes are the loop's instructions; external nodes are the
+    producers of live-ins and the consumers of live-outs.
+    """
+
+    def __init__(self, pdg: PDG, loop: NaturalLoop):
+        super().__init__()
+        self.pdg = pdg
+        self.loop = loop
+        self._scev = ScalarEvolution(loop)
+        internal = list(loop.instructions())
+        internal_ids = {id(i) for i in internal}
+        base = pdg.subgraph(internal)
+        for node in base.nodes():
+            self.add_node(node.value, internal=node.is_internal)
+        for edge in base.edges():
+            carried = False
+            if edge.dst.is_internal and edge.src.is_internal:
+                carried = self._is_loop_carried(edge)
+            self.add_edge(
+                edge.src.value,
+                edge.dst.value,
+                edge.kind,
+                edge.data_kind,
+                edge.is_memory,
+                edge.is_must,
+                is_loop_carried=carried,
+            )
+            # A carried memory conflict is direction-free: the later
+            # instruction of one iteration conflicts with the earlier one of
+            # the next.  The program-order PDG only has the forward edge, so
+            # materialize the reverse carried edge here (e.g. the store→load
+            # RAW of ``b[i] = b[i-1]``).
+            if carried and edge.is_memory and edge.is_data():
+                src, dst = edge.src.value, edge.dst.value
+                reverse_kind = _reverse_memory_kind(dst, src)
+                if reverse_kind is not None:
+                    self.add_edge(
+                        dst,
+                        src,
+                        "data",
+                        reverse_kind,
+                        is_memory=True,
+                        is_must=edge.is_must,
+                        is_loop_carried=True,
+                    )
+
+    # -- loop-carried classification ----------------------------------------------
+    def _is_loop_carried(self, edge: DGEdge[Instruction]) -> bool:
+        if edge.is_control():
+            return False
+        if not edge.is_memory:
+            return self._register_dep_carried(edge.src.value, edge.dst.value)
+        return self._memory_dep_carried(edge.src.value, edge.dst.value)
+
+    def _register_dep_carried(self, src: Instruction, dst: Instruction) -> bool:
+        """A register dependence is carried iff it flows around the back edge.
+
+        In SSA that happens exactly when the consumer is a header phi and the
+        producer reaches it via a latch edge.
+        """
+        if not isinstance(dst, Phi) or dst.parent is not self.loop.header:
+            return False
+        for value, pred in dst.incoming():
+            if value is src and self.loop.contains_block(pred):
+                return True
+        return False
+
+    def _memory_dep_carried(self, src: Instruction, dst: Instruction) -> bool:
+        """Decide whether a memory dependence can cross iterations.
+
+        Disproves the carried case when both accesses address
+        ``base + iv*stride`` with the same base object, same non-zero
+        stride, and same offset — then equal addresses imply equal
+        iterations, so the dependence is intra-iteration only.
+        """
+        address_src = _pointer_operand(src)
+        address_dst = _pointer_operand(dst)
+        if address_src is None or address_dst is None:
+            return True  # calls: stay conservative
+        access_src = self._affine_access(address_src)
+        access_dst = self._affine_access(address_dst)
+        if access_src is None or access_dst is None:
+            return True
+        base_src, start_src, step_src = access_src
+        base_dst, start_dst, step_dst = access_dst
+        if base_src is not base_dst:
+            return True  # different bases that still may-alias: conservative
+        if step_src == step_dst and step_src != 0 and start_src == start_dst:
+            return False
+        return True
+
+    def _affine_access(self, address: Value):
+        """Decompose an address into (base object, start key, iv stride).
+
+        The start key combines the constant part of the starting offset
+        with the identities of its symbolic (loop-invariant) parts, so two
+        accesses starting at e.g. ``width + 1`` compare equal even though
+        the start is not a literal constant.
+        """
+        from ..analysis.aa import underlying_object
+        from ..ir.instructions import ElemPtr
+        from ..ir.values import ConstantInt
+
+        if not isinstance(address, ElemPtr):
+            return None
+        base = underlying_object(address)
+        const_start = 0
+        symbolic_parts: list[int] = []
+        stride = 0
+        for index in address.indices:
+            if isinstance(index, ConstantInt):
+                const_start += index.value
+                continue
+            evolution = self._scev.evolution_of(index)
+            if isinstance(evolution, SCEVAddRec):
+                step = evolution.constant_step()
+                if step is None:
+                    return None
+                stride += step
+                start = evolution.start
+                if isinstance(start, SCEVConstant):
+                    const_start += start.value
+                elif isinstance(start, SCEVUnknown):
+                    symbolic_parts.append(id(start.value))
+                else:
+                    return None
+            elif isinstance(evolution, SCEVUnknown):
+                return None  # invariant but iteration-independent index
+            else:
+                return None
+        start_key = (const_start, tuple(sorted(symbolic_parts)))
+        return base, start_key, stride
+
+    # -- region boundary -------------------------------------------------------------
+    def live_in_values(self) -> list[Value]:
+        """Values defined outside the loop but used inside (plus arguments)."""
+        result: list[Value] = []
+        seen: set[int] = set()
+        from ..ir.values import Argument, Constant
+
+        for inst in self.loop.instructions():
+            for operand in inst.operands:
+                if isinstance(operand, Constant):
+                    continue
+                if isinstance(operand, Instruction) and self.loop.contains(operand):
+                    continue
+                if operand.type.is_void() or str(operand.type) == "label":
+                    continue
+                if isinstance(operand, (Instruction, Argument)) and id(operand) not in seen:
+                    seen.add(id(operand))
+                    result.append(operand)
+        return result
+
+    def live_out_values(self) -> list[Instruction]:
+        """Values defined inside the loop and used after it."""
+        result: list[Instruction] = []
+        seen: set[int] = set()
+        for inst in self.loop.instructions():
+            for user in inst.users():
+                if isinstance(user, Instruction) and not self.loop.contains(user):
+                    if id(inst) not in seen:
+                        seen.add(id(inst))
+                        result.append(inst)
+                    break
+        return result
+
+    def loop_carried_edges(self) -> list[DGEdge[Instruction]]:
+        return [e for e in self.edges() if e.is_loop_carried]
+
+    def has_loop_carried_data_dependences(self) -> bool:
+        return any(e.is_data() for e in self.loop_carried_edges())
+
+
+def _reverse_memory_kind(src: Instruction, dst: Instruction) -> str | None:
+    """Dependence kind for a reversed memory edge ``src -> dst``."""
+    if src.may_write_memory() and dst.may_read_memory():
+        return "RAW"
+    if src.may_write_memory() and dst.may_write_memory():
+        return "WAW"
+    if src.may_read_memory() and dst.may_write_memory():
+        return "WAR"
+    return None
+
+
+def _pointer_operand(inst: Instruction) -> Value | None:
+    if isinstance(inst, Load):
+        return inst.pointer
+    if isinstance(inst, Store):
+        return inst.pointer
+    return None
+
+
+def _calls_independent(aa: AliasAnalysis, a: Call, b: Call) -> bool:
+    """True when two calls provably touch disjoint memory (or none)."""
+    from ..analysis.pointsto import AndersenAliasAnalysis
+
+    if not isinstance(aa, AndersenAliasAnalysis):
+        return False
+    effects = aa._effects()
+    ea = _call_footprint(effects, aa, a)
+    eb = _call_footprint(effects, aa, b)
+    if ea is None or eb is None:
+        return False
+    reads_a, writes_a = ea
+    reads_b, writes_b = eb
+    return not (
+        (writes_a & (reads_b | writes_b)) or (writes_b & (reads_a | writes_a))
+    )
+
+
+def _call_footprint(effects, aa, call: Call):
+    targets = aa.pointsto.callees_of(call)
+    if not targets:
+        return None
+    reads: set = set()
+    writes: set = set()
+    for callee in targets:
+        summary = effects.effects.get(id(callee))
+        if summary is None or summary.unknown:
+            return None
+        reads |= summary.reads
+        writes |= summary.writes
+    return reads, writes

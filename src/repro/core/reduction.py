@@ -1,0 +1,123 @@
+"""The reduction abstraction (Table 1, "RD").
+
+Identifies loop variables whose loop-carried dependence is *reducible*:
+an accumulation ``s = s <op> work(...)`` through a commutative-associative
+operator.  Such an SCC can be parallelized by cloning the accumulator per
+core and combining the partial results after the loop — which is what the
+DOALL/HELIX task generators do with this descriptor.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..analysis.loopinfo import NaturalLoop
+from ..ir.instructions import BinaryOp, Instruction, Phi
+from ..ir.values import ConstantFloat, ConstantInt, Value
+
+if TYPE_CHECKING:  # pragma: no cover
+    from .sccdag import SCC
+
+#: Commutative-associative opcodes and their identity element.
+REDUCIBLE_OPS: dict[str, int | float] = {
+    "add": 0,
+    "mul": 1,
+    "and": -1,  # all-ones identity for bitwise and
+    "or": 0,
+    "xor": 0,
+    "fadd": 0.0,
+    "fmul": 1.0,
+}
+
+
+class ReductionDescriptor:
+    """Everything needed to materialize a parallel reduction."""
+
+    def __init__(
+        self,
+        phi: Phi,
+        operator: str,
+        accumulators: list[BinaryOp],
+        loop: NaturalLoop,
+    ):
+        self.phi = phi
+        self.operator = operator
+        self.accumulators = accumulators
+        self.loop = loop
+
+    @property
+    def identity(self) -> int | float:
+        return REDUCIBLE_OPS[self.operator]
+
+    def identity_constant(self) -> Value:
+        ty = self.phi.type
+        if ty.is_float():
+            return ConstantFloat(ty, float(self.identity))
+        return ConstantInt(ty, int(self.identity))
+
+    def initial_value(self) -> Value:
+        """The accumulator's value entering the loop."""
+        for value, pred in self.phi.incoming():
+            if not self.loop.contains_block(pred):
+                return value
+        raise ValueError("reduction phi has no entry edge")
+
+    def exit_value(self) -> Instruction:
+        """The value holding the accumulated result at loop exits."""
+        for value, pred in self.phi.incoming():
+            if self.loop.contains_block(pred) and isinstance(value, Instruction):
+                return value
+        raise ValueError("reduction phi has no latch edge")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<reduction {self.operator} over {self.phi.ref()}>"
+
+
+def match_reduction(scc: "SCC", loop: NaturalLoop) -> ReductionDescriptor | None:
+    """Try to describe ``scc`` as a reduction; None if it is not one.
+
+    The pattern is a header phi whose loop-carried cycle consists only of
+    commutative-associative binary operations over the same operator, where
+    no intermediate value of the cycle is observed elsewhere inside the
+    loop (the running value must not be *used*, only accumulated).
+    """
+    if scc.has_memory_dependences():
+        return None
+    phis = [i for i in scc.instructions if isinstance(i, Phi)]
+    header_phis = [p for p in phis if p.parent is loop.header]
+    if len(header_phis) != 1 or len(phis) != 1:
+        return None
+    phi = header_phis[0]
+    chain = [i for i in scc.instructions if i is not phi]
+    if not chain:
+        return None
+    operator = None
+    for inst in chain:
+        if not isinstance(inst, BinaryOp) or inst.opcode not in REDUCIBLE_OPS:
+            return None
+        if operator is None:
+            operator = inst.opcode
+        elif inst.opcode != operator:
+            return None
+    assert operator is not None
+    scc_ids = {id(i) for i in scc.instructions}
+    # Intermediate values must stay inside the cycle within the loop; uses
+    # outside the loop (live-outs) are fine — the combiner rewires them.
+    for inst in scc.instructions:
+        for user in inst.users():
+            if not isinstance(user, Instruction):
+                continue
+            if id(user) in scc_ids:
+                continue
+            if loop.contains(user):
+                return None
+    # Each chain operation must take the running value on exactly one side.
+    running = {id(phi)}
+    for inst in chain:
+        running.add(id(inst))
+    for inst in chain:
+        lhs_in = id(inst.lhs) in running
+        rhs_in = id(inst.rhs) in running
+        if lhs_in == rhs_in:  # both or neither: not a simple accumulation
+            return None
+    return ReductionDescriptor(phi, operator, list(chain), loop)

@@ -1,0 +1,37 @@
+"""repro.experiments — data producers for every table and figure.
+
+Each function regenerates one piece of the paper's evaluation; the
+``benchmarks/`` harness prints them in the paper's format and asserts the
+qualitative claims, and EXPERIMENTS.md records paper-vs-measured.
+"""
+
+from .figures import fig3_dependences, fig4_invariants, governing_iv_counts
+from .loc import count_loc, count_loc_many
+from .speedups import fig5_speedups, sec45_binary_size, spec_speedups
+from .tables import (
+    ALL_ABSTRACTIONS,
+    USAGE_MATRIX,
+    abstraction_usage_counts,
+    table1,
+    table2,
+    table3,
+    table4,
+)
+
+__all__ = [
+    "fig3_dependences",
+    "fig4_invariants",
+    "governing_iv_counts",
+    "count_loc",
+    "count_loc_many",
+    "fig5_speedups",
+    "sec45_binary_size",
+    "spec_speedups",
+    "ALL_ABSTRACTIONS",
+    "USAGE_MATRIX",
+    "abstraction_usage_counts",
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+]

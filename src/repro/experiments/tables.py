@@ -1,0 +1,162 @@
+"""Table 1/2/3/4 reproductions."""
+
+from __future__ import annotations
+
+from .loc import (
+    ABSTRACTION_MODULES,
+    ABSTRACTION_PAPER_LOC,
+    CUSTOM_TOOL_MODULES,
+    PARALLELIZER_SHARED,
+    STANDALONE_DEPENDENCIES,
+    TOOL_MODULES,
+    TOOL_PAPER_LOC,
+    count_loc_many,
+)
+
+
+def table1() -> list[dict]:
+    """Table 1: LoC per NOELLE abstraction (ours vs the paper's)."""
+    rows = []
+    for name, modules in ABSTRACTION_MODULES.items():
+        rows.append({
+            "abstraction": name,
+            "loc": count_loc_many(modules),
+            "paper_loc": ABSTRACTION_PAPER_LOC[name],
+        })
+    rows.append({
+        "abstraction": "TOTAL",
+        "loc": sum(r["loc"] for r in rows),
+        "paper_loc": 26142,
+    })
+    return rows
+
+
+def table2() -> list[dict]:
+    """Table 2: LoC per noelle-* tool (ours vs the paper's)."""
+    rows = []
+    for name, modules in TOOL_MODULES.items():
+        rows.append({
+            "tool": name,
+            "loc": count_loc_many(modules),
+            "paper_loc": TOOL_PAPER_LOC[name],
+        })
+    rows.append({
+        "tool": "TOTAL",
+        "loc": sum(r["loc"] for r in rows),
+        "paper_loc": 5143,
+    })
+    return rows
+
+
+#: Tools whose dispatch machinery is shared (charged when standalone).
+_PARALLELIZERS = ("DOALL", "HELIX", "DSWP", "PERS")
+
+
+def table3() -> list[dict]:
+    """Table 3: custom tool LoC with NOELLE vs without.
+
+    The "without NOELLE" side is *measured* for tools we implemented
+    standalone (LICM) and *modeled* for the rest: the tool's own LoC plus
+    the NOELLE-layer modules it would have to inline
+    (``STANDALONE_DEPENDENCIES``) — the code a from-scratch LLVM
+    implementation re-derives.  Paper numbers are printed alongside.
+    """
+    rows = []
+    for name, spec in CUSTOM_TOOL_MODULES.items():
+        noelle_modules = list(spec["noelle"])
+        if name in _PARALLELIZERS:
+            noelle_loc = count_loc_many(noelle_modules)
+            shared = count_loc_many(PARALLELIZER_SHARED)
+            # The shared dispatcher machinery is amortized over the four
+            # parallelizers; charge each a quarter.
+            noelle_loc += shared // 4
+        else:
+            noelle_loc = count_loc_many(noelle_modules)
+        if "standalone" in spec:
+            llvm_loc = count_loc_many(spec["standalone"])
+            llvm_kind = "measured"
+        else:
+            deps = STANDALONE_DEPENDENCIES.get(name, [])
+            llvm_loc = noelle_loc + count_loc_many(deps)
+            if name in _PARALLELIZERS:
+                llvm_loc += count_loc_many(PARALLELIZER_SHARED)
+            llvm_kind = "modeled"
+        reduction = 100.0 * (1.0 - noelle_loc / llvm_loc) if llvm_loc else 0.0
+        paper_reduction = 100.0 * (
+            1.0 - spec["paper_noelle"] / spec["paper_llvm"]
+        )
+        rows.append({
+            "tool": name,
+            "noelle_loc": noelle_loc,
+            "llvm_loc": llvm_loc,
+            "llvm_kind": llvm_kind,
+            "reduction_pct": reduction,
+            "paper_noelle_loc": spec["paper_noelle"],
+            "paper_llvm_loc": spec["paper_llvm"],
+            "paper_reduction_pct": paper_reduction,
+        })
+    return rows
+
+
+#: Table 4 — which abstraction each custom tool uses, derived from our
+#: implementations (the table4 test verifies every claim against the
+#: module sources).  The paper's matrix is reproduced in spirit — every
+#: abstraction serves several heterogeneous tools — with small per-tool
+#: differences where our implementation factored work differently
+#: (documented in EXPERIMENTS.md).
+USAGE_MATRIX: dict[str, set[str]] = {
+    "HELIX": {"PDG", "aSCCDAG", "ENV", "T", "DFE", "PRO", "SCD", "L", "LB",
+              "IV", "IVS", "RD", "AR", "LS"},
+    "DSWP": {"PDG", "aSCCDAG", "ENV", "T", "PRO", "L", "LB", "IV", "RD",
+             "AR", "LS"},
+    "CARAT": {"DFE", "L", "LB", "IV", "INV", "LS"},
+    "COOS": {"CG", "DFE", "L", "LB", "LS"},
+    "PRVJ": {"PDG", "PRO"},
+    "DOALL": {"PDG", "aSCCDAG", "ENV", "T", "PRO", "L", "LB", "IV", "IVS",
+              "RD", "LS"},
+    "LICM": {"L", "LB", "INV", "FR", "LS"},
+    "TIME": {"PDG", "SCD", "L", "FR", "ISL"},
+    "DEAD": {"CG", "ISL"},
+    "PERS": {"PDG", "aSCCDAG", "IV", "PRO", "LS"},
+}
+
+#: The paper's own Table 4, for side-by-side printing in the bench.
+PAPER_USAGE_MATRIX: dict[str, set[str]] = {
+    "HELIX": {"PDG", "aSCCDAG", "ENV", "T", "DFE", "PRO", "SCD", "L", "LB",
+              "IV", "IVS", "INV", "FR", "RD", "AR", "LS"},
+    "DSWP": {"PDG", "aSCCDAG", "ENV", "T", "PRO", "SCD", "L", "LB", "IV",
+             "IVS", "INV", "FR", "RD", "AR", "LS"},
+    "CARAT": {"PDG", "aSCCDAG", "DFE", "PRO", "SCD", "L", "LB", "IV", "INV",
+              "LS"},
+    "COOS": {"CG", "DFE", "PRO", "L", "LB", "FR", "LS"},
+    "PRVJ": {"PDG", "CG", "DFE", "PRO", "SCD", "L", "LB", "IV", "INV", "LS"},
+    "DOALL": {"PDG", "aSCCDAG", "ENV", "T", "PRO", "L", "LB", "IV", "IVS",
+              "INV", "FR", "RD", "AR", "LS"},
+    "LICM": {"L", "LB", "INV", "FR", "LS"},
+    "TIME": {"PDG", "DFE", "SCD", "L", "LB", "FR", "ISL", "LS"},
+    "DEAD": {"CG", "ISL"},
+    "PERS": {"PDG", "aSCCDAG"},
+}
+
+ALL_ABSTRACTIONS = (
+    "PDG", "aSCCDAG", "CG", "ENV", "T", "DFE", "PRO", "SCD", "L", "LB",
+    "IV", "IVS", "INV", "FR", "ISL", "RD", "AR", "LS",
+)
+
+
+def table4() -> dict[str, dict[str, bool]]:
+    """Table 4: the abstraction-usage matrix, tool -> {abstraction: used}."""
+    return {
+        tool: {a: (a in used) for a in ALL_ABSTRACTIONS}
+        for tool, used in USAGE_MATRIX.items()
+    }
+
+
+def abstraction_usage_counts() -> dict[str, int]:
+    """How many custom tools use each abstraction (the Table 4 claim:
+    'each abstraction is used by several custom tools')."""
+    counts = {a: 0 for a in ALL_ABSTRACTIONS}
+    for used in USAGE_MATRIX.values():
+        for abstraction in used:
+            counts[abstraction] += 1
+    return counts

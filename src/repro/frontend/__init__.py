@@ -1,0 +1,14 @@
+"""repro.frontend — MiniC, the workload language (the clang stand-in)."""
+
+from .codegen import CodegenError, compile_source
+from .lexer import LexError, tokenize
+from .parser import SyntaxErrorMiniC, parse_program
+
+__all__ = [
+    "CodegenError",
+    "compile_source",
+    "LexError",
+    "tokenize",
+    "SyntaxErrorMiniC",
+    "parse_program",
+]

@@ -1,0 +1,249 @@
+"""Abstract syntax tree for MiniC.
+
+Plain dataclass-style nodes; semantic checks happen during code generation
+(:mod:`repro.frontend.codegen`), which is where types are resolved.
+"""
+
+from __future__ import annotations
+
+
+class Node:
+    """Base class; carries the source line for diagnostics."""
+
+    def __init__(self, line: int):
+        self.line = line
+
+
+# --------------------------------------------------------------------------- types
+class TypeRef(Node):
+    """A syntactic type: base name plus pointer depth, e.g. ``int**``."""
+
+    def __init__(self, line: int, base: str, pointer_depth: int = 0,
+                 struct_name: str | None = None):
+        super().__init__(line)
+        self.base = base  # "int" | "double" | "void" | "char" | "struct"
+        self.struct_name = struct_name
+        self.pointer_depth = pointer_depth
+
+    def __repr__(self) -> str:  # pragma: no cover
+        name = f"struct {self.struct_name}" if self.base == "struct" else self.base
+        return name + "*" * self.pointer_depth
+
+
+class FuncPtrTypeRef(Node):
+    """A function-pointer type: ``ret (*)(params...)``."""
+
+    def __init__(self, line: int, ret: TypeRef, params: list[TypeRef]):
+        super().__init__(line)
+        self.ret = ret
+        self.params = params
+
+
+# --------------------------------------------------------------------------- top level
+class Program(Node):
+    def __init__(self, line: int):
+        super().__init__(line)
+        self.structs: list[StructDef] = []
+        self.globals: list[GlobalDecl] = []
+        self.functions: list[FunctionDef] = []
+
+
+class StructDef(Node):
+    def __init__(self, line: int, name: str, fields: list[tuple[TypeRef, str, list[int]]]):
+        super().__init__(line)
+        self.name = name
+        #: (type, field name, array dims — empty for scalars)
+        self.fields = fields
+
+
+class GlobalDecl(Node):
+    def __init__(self, line: int, type_ref, name: str, dims: list[int],
+                 initializer: "Expr | None"):
+        super().__init__(line)
+        self.type_ref = type_ref
+        self.name = name
+        self.dims = dims
+        self.initializer = initializer
+
+
+class Param(Node):
+    def __init__(self, line: int, type_ref, name: str):
+        super().__init__(line)
+        self.type_ref = type_ref
+        self.name = name
+
+
+class FunctionDef(Node):
+    def __init__(self, line: int, ret: TypeRef, name: str, params: list[Param],
+                 body: "Block | None"):
+        super().__init__(line)
+        self.ret = ret
+        self.name = name
+        self.params = params
+        self.body = body  # None for forward declarations
+
+
+# --------------------------------------------------------------------------- statements
+class Stmt(Node):
+    pass
+
+
+class Block(Stmt):
+    def __init__(self, line: int, statements: list[Stmt]):
+        super().__init__(line)
+        self.statements = statements
+
+
+class Declaration(Stmt):
+    def __init__(self, line: int, type_ref, name: str, dims: list[int],
+                 initializer: "Expr | None"):
+        super().__init__(line)
+        self.type_ref = type_ref
+        self.name = name
+        self.dims = dims
+        self.initializer = initializer
+
+
+class Assign(Stmt):
+    def __init__(self, line: int, target: "Expr", value: "Expr"):
+        super().__init__(line)
+        self.target = target
+        self.value = value
+
+
+class ExprStmt(Stmt):
+    def __init__(self, line: int, expr: "Expr"):
+        super().__init__(line)
+        self.expr = expr
+
+
+class If(Stmt):
+    def __init__(self, line: int, cond: "Expr", then: Stmt, otherwise: Stmt | None):
+        super().__init__(line)
+        self.cond = cond
+        self.then = then
+        self.otherwise = otherwise
+
+
+class While(Stmt):
+    def __init__(self, line: int, cond: "Expr", body: Stmt):
+        super().__init__(line)
+        self.cond = cond
+        self.body = body
+
+
+class DoWhile(Stmt):
+    def __init__(self, line: int, body: Stmt, cond: "Expr"):
+        super().__init__(line)
+        self.body = body
+        self.cond = cond
+
+
+class For(Stmt):
+    def __init__(self, line: int, init: Stmt | None, cond: "Expr | None",
+                 step: Stmt | None, body: Stmt):
+        super().__init__(line)
+        self.init = init
+        self.cond = cond
+        self.step = step
+        self.body = body
+
+
+class Return(Stmt):
+    def __init__(self, line: int, value: "Expr | None"):
+        super().__init__(line)
+        self.value = value
+
+
+class Break(Stmt):
+    pass
+
+
+class Continue(Stmt):
+    pass
+
+
+class SwitchCase:
+    def __init__(self, value: int | None, statements: list[Stmt]):
+        self.value = value  # None for default
+        self.statements = statements
+
+
+class SwitchStmt(Stmt):
+    def __init__(self, line: int, selector: "Expr", cases: list[SwitchCase]):
+        super().__init__(line)
+        self.selector = selector
+        self.cases = cases
+
+
+# --------------------------------------------------------------------------- expressions
+class Expr(Node):
+    pass
+
+
+class IntLiteral(Expr):
+    def __init__(self, line: int, value: int):
+        super().__init__(line)
+        self.value = value
+
+
+class FloatLiteral(Expr):
+    def __init__(self, line: int, value: float):
+        super().__init__(line)
+        self.value = value
+
+
+class NameRef(Expr):
+    def __init__(self, line: int, name: str):
+        super().__init__(line)
+        self.name = name
+
+
+class BinaryExpr(Expr):
+    def __init__(self, line: int, op: str, lhs: Expr, rhs: Expr):
+        super().__init__(line)
+        self.op = op
+        self.lhs = lhs
+        self.rhs = rhs
+
+
+class UnaryExpr(Expr):
+    def __init__(self, line: int, op: str, operand: Expr):
+        super().__init__(line)
+        self.op = op  # "-" | "!" | "*" | "&"
+        self.operand = operand
+
+
+class CallExpr(Expr):
+    def __init__(self, line: int, callee: Expr, args: list[Expr]):
+        super().__init__(line)
+        self.callee = callee
+        self.args = args
+
+
+class IndexExpr(Expr):
+    def __init__(self, line: int, base: Expr, index: Expr):
+        super().__init__(line)
+        self.base = base
+        self.index = index
+
+
+class FieldExpr(Expr):
+    def __init__(self, line: int, base: Expr, field: str, arrow: bool):
+        super().__init__(line)
+        self.base = base
+        self.field = field
+        self.arrow = arrow  # True for ``->``, False for ``.``
+
+
+class CastExpr(Expr):
+    def __init__(self, line: int, type_ref: TypeRef, operand: Expr):
+        super().__init__(line)
+        self.type_ref = type_ref
+        self.operand = operand
+
+
+class SizeofExpr(Expr):
+    def __init__(self, line: int, type_ref):
+        super().__init__(line)
+        self.type_ref = type_ref

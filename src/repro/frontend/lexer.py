@@ -1,0 +1,134 @@
+"""Lexer for MiniC, the repository's C-like workload language."""
+
+from __future__ import annotations
+
+KEYWORDS = {
+    "int",
+    "double",
+    "void",
+    "char",
+    "struct",
+    "if",
+    "else",
+    "while",
+    "do",
+    "for",
+    "return",
+    "break",
+    "continue",
+    "switch",
+    "case",
+    "default",
+    "sizeof",
+}
+
+#: Multi-character operators, longest first so maximal munch works.
+OPERATORS = [
+    "&&",
+    "||",
+    "==",
+    "!=",
+    "<=",
+    ">=",
+    "->",
+    "<<",
+    ">>",
+    "+",
+    "-",
+    "*",
+    "/",
+    "%",
+    "<",
+    ">",
+    "=",
+    "!",
+    "&",
+    "|",
+    "^",
+    "(",
+    ")",
+    "{",
+    "}",
+    "[",
+    "]",
+    ";",
+    ",",
+    ".",
+    ":",
+]
+
+
+class Token:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind  # "int" | "float" | "ident" | "keyword" | "op" | "eof"
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{self.kind} {self.text!r} @{self.line}>"
+
+
+class LexError(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+
+
+def tokenize(source: str) -> list[Token]:
+    """Tokenize MiniC source into a token list ending with an EOF token."""
+    tokens: list[Token] = []
+    line = 1
+    pos = 0
+    length = len(source)
+    while pos < length:
+        ch = source[pos]
+        if ch == "\n":
+            line += 1
+            pos += 1
+            continue
+        if ch.isspace():
+            pos += 1
+            continue
+        if source.startswith("//", pos):
+            end = source.find("\n", pos)
+            pos = length if end == -1 else end
+            continue
+        if source.startswith("/*", pos):
+            end = source.find("*/", pos + 2)
+            if end == -1:
+                raise LexError("unterminated block comment", line)
+            line += source.count("\n", pos, end)
+            pos = end + 2
+            continue
+        if ch.isdigit() or (ch == "." and pos + 1 < length and source[pos + 1].isdigit()):
+            start = pos
+            while pos < length and (source[pos].isdigit() or source[pos] == "."):
+                pos += 1
+            if pos < length and source[pos] in "eE":
+                pos += 1
+                if pos < length and source[pos] in "+-":
+                    pos += 1
+                while pos < length and source[pos].isdigit():
+                    pos += 1
+            text = source[start:pos]
+            kind = "float" if ("." in text or "e" in text or "E" in text) else "int"
+            tokens.append(Token(kind, text, line))
+            continue
+        if ch.isalpha() or ch == "_":
+            start = pos
+            while pos < length and (source[pos].isalnum() or source[pos] == "_"):
+                pos += 1
+            text = source[start:pos]
+            kind = "keyword" if text in KEYWORDS else "ident"
+            tokens.append(Token(kind, text, line))
+            continue
+        for op in OPERATORS:
+            if source.startswith(op, pos):
+                tokens.append(Token("op", op, line))
+                pos += len(op)
+                break
+        else:
+            raise LexError(f"unexpected character {ch!r}", line)
+    tokens.append(Token("eof", "", line))
+    return tokens

@@ -1,0 +1,425 @@
+"""Recursive-descent parser for MiniC."""
+
+from __future__ import annotations
+
+from . import ast
+from .lexer import Token, tokenize
+
+
+class SyntaxErrorMiniC(Exception):
+    def __init__(self, message: str, line: int):
+        super().__init__(f"line {line}: {message}")
+
+
+#: Binary operator precedence (higher binds tighter).
+PRECEDENCE = {
+    "||": 1,
+    "&&": 2,
+    "|": 3,
+    "^": 4,
+    "&": 5,
+    "==": 6,
+    "!=": 6,
+    "<": 7,
+    "<=": 7,
+    ">": 7,
+    ">=": 7,
+    "<<": 8,
+    ">>": 8,
+    "+": 9,
+    "-": 9,
+    "*": 10,
+    "/": 10,
+    "%": 10,
+}
+
+_TYPE_KEYWORDS = ("int", "double", "void", "char", "struct")
+
+
+def parse_program(source: str) -> ast.Program:
+    """Parse MiniC source into an AST."""
+    return _Parser(tokenize(source)).parse_program()
+
+
+class _Parser:
+    def __init__(self, tokens: list[Token]):
+        self.tokens = tokens
+        self.pos = 0
+        self.struct_names: set[str] = set()
+
+    # -- token helpers ----------------------------------------------------------
+    def peek(self, offset: int = 0) -> Token:
+        index = min(self.pos + offset, len(self.tokens) - 1)
+        return self.tokens[index]
+
+    def next(self) -> Token:
+        token = self.peek()
+        self.pos += 1
+        return token
+
+    def accept(self, text: str) -> bool:
+        if self.peek().text == text and self.peek().kind in ("op", "keyword"):
+            self.pos += 1
+            return True
+        return False
+
+    def expect(self, text: str) -> Token:
+        token = self.next()
+        if token.text != text:
+            raise SyntaxErrorMiniC(f"expected {text!r}, got {token.text!r}", token.line)
+        return token
+
+    def expect_ident(self) -> Token:
+        token = self.next()
+        if token.kind != "ident":
+            raise SyntaxErrorMiniC(f"expected identifier, got {token.text!r}", token.line)
+        return token
+
+    def at_type(self) -> bool:
+        return self.peek().kind == "keyword" and self.peek().text in _TYPE_KEYWORDS
+
+    # -- program ------------------------------------------------------------------
+    def parse_program(self) -> ast.Program:
+        program = ast.Program(1)
+        while self.peek().kind != "eof":
+            if self.peek().text == "struct" and self.peek(2).text == "{":
+                program.structs.append(self._parse_struct_def())
+                continue
+            type_ref = self._parse_type()
+            # Function-pointer global?  ``ret (*name)(params);``
+            if self.peek().text == "(":
+                fp_type, fp_name = self._parse_funcptr_declarator(type_ref)
+                initializer = None
+                if self.accept("="):
+                    initializer = self._parse_expression()
+                program.globals.append(
+                    ast.GlobalDecl(type_ref.line, fp_type, fp_name, [], initializer)
+                )
+                self.expect(";")
+                continue
+            name = self.expect_ident()
+            if self.peek().text == "(":
+                program.functions.append(self._parse_function(type_ref, name))
+            else:
+                program.globals.append(self._parse_global(type_ref, name))
+        return program
+
+    def _parse_struct_def(self) -> ast.StructDef:
+        start = self.expect("struct")
+        name = self.expect_ident().text
+        self.struct_names.add(name)
+        self.expect("{")
+        fields: list[tuple[ast.TypeRef, str, list[int]]] = []
+        while not self.accept("}"):
+            field_type = self._parse_type()
+            field_name = self.expect_ident().text
+            dims = self._parse_dims()
+            self.expect(";")
+            fields.append((field_type, field_name, dims))
+        self.expect(";")
+        return ast.StructDef(start.line, name, fields)
+
+    def _parse_type(self) -> ast.TypeRef:
+        token = self.next()
+        if token.kind != "keyword" or token.text not in _TYPE_KEYWORDS:
+            raise SyntaxErrorMiniC(f"expected a type, got {token.text!r}", token.line)
+        struct_name = None
+        base = token.text
+        if base == "struct":
+            struct_name = self.expect_ident().text
+        depth = 0
+        while self.accept("*"):
+            depth += 1
+        return ast.TypeRef(token.line, base, depth, struct_name)
+
+    def _parse_funcptr_declarator(
+        self, ret: ast.TypeRef
+    ) -> tuple[ast.FuncPtrTypeRef, str]:
+        """Parse ``(*name)(params)`` after the return type."""
+        self.expect("(")
+        self.expect("*")
+        name = self.expect_ident().text
+        self.expect(")")
+        self.expect("(")
+        params: list[ast.TypeRef] = []
+        if not self.accept(")"):
+            if self.peek().text == "void" and self.peek(1).text == ")":
+                self.next()  # C-style empty parameter list: (void)
+            else:
+                while True:
+                    params.append(self._parse_type())
+                    if self.peek().kind == "ident":
+                        self.next()  # optional parameter name
+                    if not self.accept(","):
+                        break
+            self.expect(")")
+        return ast.FuncPtrTypeRef(ret.line, ret, params), name
+
+    def _parse_dims(self) -> list[int]:
+        dims: list[int] = []
+        while self.accept("["):
+            token = self.next()
+            if token.kind != "int":
+                raise SyntaxErrorMiniC("array length must be an integer literal", token.line)
+            dims.append(int(token.text))
+            self.expect("]")
+        return dims
+
+    def _parse_global(self, type_ref: ast.TypeRef, name: Token) -> ast.GlobalDecl:
+        dims = self._parse_dims()
+        initializer = None
+        if self.accept("="):
+            initializer = self._parse_expression()
+        self.expect(";")
+        return ast.GlobalDecl(name.line, type_ref, name.text, dims, initializer)
+
+    def _parse_function(self, ret: ast.TypeRef, name: Token) -> ast.FunctionDef:
+        self.expect("(")
+        params: list[ast.Param] = []
+        if not self.accept(")"):
+            while True:
+                if self.peek().text == "void" and self.peek(1).text == ")":
+                    self.next()
+                    break
+                param_type = self._parse_type()
+                if self.peek().text == "(":
+                    fp_type, fp_name = self._parse_funcptr_declarator(param_type)
+                    params.append(ast.Param(param_type.line, fp_type, fp_name))
+                else:
+                    param_name = self.expect_ident()
+                    params.append(ast.Param(param_name.line, param_type, param_name.text))
+                if not self.accept(","):
+                    break
+            self.expect(")")
+        if self.accept(";"):
+            return ast.FunctionDef(name.line, ret, name.text, params, None)
+        body = self._parse_block()
+        return ast.FunctionDef(name.line, ret, name.text, params, body)
+
+    # -- statements ---------------------------------------------------------------
+    def _parse_block(self) -> ast.Block:
+        start = self.expect("{")
+        statements: list[ast.Stmt] = []
+        while not self.accept("}"):
+            statements.append(self._parse_statement())
+        return ast.Block(start.line, statements)
+
+    def _parse_statement(self) -> ast.Stmt:
+        token = self.peek()
+        if token.text == "{":
+            return self._parse_block()
+        if token.text == "if":
+            return self._parse_if()
+        if token.text == "while":
+            return self._parse_while()
+        if token.text == "do":
+            return self._parse_do_while()
+        if token.text == "for":
+            return self._parse_for()
+        if token.text == "switch":
+            return self._parse_switch()
+        if token.text == "return":
+            self.next()
+            value = None if self.peek().text == ";" else self._parse_expression()
+            self.expect(";")
+            return ast.Return(token.line, value)
+        if token.text == "break":
+            self.next()
+            self.expect(";")
+            return ast.Break(token.line)
+        if token.text == "continue":
+            self.next()
+            self.expect(";")
+            return ast.Continue(token.line)
+        if self.at_type():
+            stmt = self._parse_declaration()
+            self.expect(";")
+            return stmt
+        stmt = self._parse_assignment_or_expression()
+        self.expect(";")
+        return stmt
+
+    def _parse_declaration(self) -> ast.Declaration:
+        type_ref = self._parse_type()
+        if self.peek().text == "(":
+            fp_type, fp_name = self._parse_funcptr_declarator(type_ref)
+            initializer = None
+            if self.accept("="):
+                initializer = self._parse_expression()
+            return ast.Declaration(type_ref.line, fp_type, fp_name, [], initializer)
+        name = self.expect_ident()
+        dims = self._parse_dims()
+        initializer = None
+        if self.accept("="):
+            initializer = self._parse_expression()
+        return ast.Declaration(name.line, type_ref, name.text, dims, initializer)
+
+    def _parse_assignment_or_expression(self) -> ast.Stmt:
+        start = self.peek()
+        expr = self._parse_expression()
+        if self.accept("="):
+            value = self._parse_expression()
+            return ast.Assign(start.line, expr, value)
+        return ast.ExprStmt(start.line, expr)
+
+    def _parse_if(self) -> ast.If:
+        start = self.expect("if")
+        self.expect("(")
+        cond = self._parse_expression()
+        self.expect(")")
+        then = self._parse_statement()
+        otherwise = self._parse_statement() if self.accept("else") else None
+        return ast.If(start.line, cond, then, otherwise)
+
+    def _parse_while(self) -> ast.While:
+        start = self.expect("while")
+        self.expect("(")
+        cond = self._parse_expression()
+        self.expect(")")
+        body = self._parse_statement()
+        return ast.While(start.line, cond, body)
+
+    def _parse_do_while(self) -> ast.DoWhile:
+        start = self.expect("do")
+        body = self._parse_statement()
+        self.expect("while")
+        self.expect("(")
+        cond = self._parse_expression()
+        self.expect(")")
+        self.expect(";")
+        return ast.DoWhile(start.line, body, cond)
+
+    def _parse_for(self) -> ast.For:
+        start = self.expect("for")
+        self.expect("(")
+        init: ast.Stmt | None = None
+        if not self.accept(";"):
+            init = (
+                self._parse_declaration()
+                if self.at_type()
+                else self._parse_assignment_or_expression()
+            )
+            self.expect(";")
+        cond: ast.Expr | None = None
+        if not self.accept(";"):
+            cond = self._parse_expression()
+            self.expect(";")
+        step: ast.Stmt | None = None
+        if self.peek().text != ")":
+            step = self._parse_assignment_or_expression()
+        self.expect(")")
+        body = self._parse_statement()
+        return ast.For(start.line, init, cond, step, body)
+
+    def _parse_switch(self) -> ast.SwitchStmt:
+        start = self.expect("switch")
+        self.expect("(")
+        selector = self._parse_expression()
+        self.expect(")")
+        self.expect("{")
+        cases: list[ast.SwitchCase] = []
+        current: ast.SwitchCase | None = None
+        while not self.accept("}"):
+            if self.accept("case"):
+                token = self.next()
+                sign = 1
+                if token.text == "-":
+                    sign = -1
+                    token = self.next()
+                if token.kind != "int":
+                    raise SyntaxErrorMiniC("case label must be an integer", token.line)
+                self.expect(":")
+                current = ast.SwitchCase(sign * int(token.text), [])
+                cases.append(current)
+            elif self.accept("default"):
+                self.expect(":")
+                current = ast.SwitchCase(None, [])
+                cases.append(current)
+            else:
+                if current is None:
+                    raise SyntaxErrorMiniC(
+                        "statement before first case label", self.peek().line
+                    )
+                current.statements.append(self._parse_statement())
+        return ast.SwitchStmt(start.line, selector, cases)
+
+    # -- expressions -------------------------------------------------------------
+    def _parse_expression(self) -> ast.Expr:
+        return self._parse_binary(0)
+
+    def _parse_binary(self, min_precedence: int) -> ast.Expr:
+        lhs = self._parse_unary()
+        while True:
+            token = self.peek()
+            precedence = PRECEDENCE.get(token.text) if token.kind == "op" else None
+            if precedence is None or precedence < min_precedence:
+                return lhs
+            self.next()
+            rhs = self._parse_binary(precedence + 1)
+            lhs = ast.BinaryExpr(token.line, token.text, lhs, rhs)
+
+    def _parse_unary(self) -> ast.Expr:
+        token = self.peek()
+        if token.kind == "op" and token.text in ("-", "!", "*", "&"):
+            self.next()
+            operand = self._parse_unary()
+            return ast.UnaryExpr(token.line, token.text, operand)
+        # C-style cast: "(" type ")" unary — only when a type keyword follows.
+        if token.text == "(" and self.peek(1).kind == "keyword" and (
+            self.peek(1).text in _TYPE_KEYWORDS
+        ):
+            self.next()
+            type_ref = self._parse_type()
+            self.expect(")")
+            operand = self._parse_unary()
+            return ast.CastExpr(token.line, type_ref, operand)
+        return self._parse_postfix()
+
+    def _parse_postfix(self) -> ast.Expr:
+        expr = self._parse_primary()
+        while True:
+            token = self.peek()
+            if token.text == "(":
+                self.next()
+                args: list[ast.Expr] = []
+                if not self.accept(")"):
+                    while True:
+                        args.append(self._parse_expression())
+                        if not self.accept(","):
+                            break
+                    self.expect(")")
+                expr = ast.CallExpr(token.line, expr, args)
+            elif token.text == "[":
+                self.next()
+                index = self._parse_expression()
+                self.expect("]")
+                expr = ast.IndexExpr(token.line, expr, index)
+            elif token.text == ".":
+                self.next()
+                field = self.expect_ident().text
+                expr = ast.FieldExpr(token.line, expr, field, arrow=False)
+            elif token.text == "->":
+                self.next()
+                field = self.expect_ident().text
+                expr = ast.FieldExpr(token.line, expr, field, arrow=True)
+            else:
+                return expr
+
+    def _parse_primary(self) -> ast.Expr:
+        token = self.next()
+        if token.kind == "int":
+            return ast.IntLiteral(token.line, int(token.text))
+        if token.kind == "float":
+            return ast.FloatLiteral(token.line, float(token.text))
+        if token.kind == "ident":
+            return ast.NameRef(token.line, token.text)
+        if token.text == "sizeof":
+            self.expect("(")
+            type_ref = self._parse_type()
+            self.expect(")")
+            return ast.SizeofExpr(token.line, type_ref)
+        if token.text == "(":
+            expr = self._parse_expression()
+            self.expect(")")
+            return expr
+        raise SyntaxErrorMiniC(f"unexpected token {token.text!r}", token.line)

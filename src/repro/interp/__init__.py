@@ -1,0 +1,23 @@
+"""repro.interp — the reference interpreter for the repro IR."""
+
+from .interp import (
+    INSTRUCTION_COSTS,
+    INTRINSIC_COSTS,
+    ExecutionResult,
+    InterpError,
+    Interpreter,
+    MemoryTrap,
+    StepLimitExceeded,
+    run_module,
+)
+
+__all__ = [
+    "INSTRUCTION_COSTS",
+    "INTRINSIC_COSTS",
+    "ExecutionResult",
+    "InterpError",
+    "Interpreter",
+    "MemoryTrap",
+    "StepLimitExceeded",
+    "run_module",
+]

@@ -1,0 +1,88 @@
+"""Runtime intrinsics: the "libc" surface of the repro IR.
+
+Programs compiled from MiniC (and hand-built IR) call into a small runtime
+implemented natively by the interpreter.  From the analyses' point of view
+these are *external functions*, exactly like libc calls in LLVM IR: the
+points-to analysis and mod/ref have dedicated models for them, and calls to
+unmodeled externals are treated conservatively — which is what makes the
+baseline-vs-NOELLE precision comparisons meaningful.
+"""
+
+from __future__ import annotations
+
+from .module import Function, Module
+from .types import DOUBLE, I8, I64, VOID, FunctionType, PointerType
+
+#: name -> (FunctionType, attributes)
+INTRINSICS: dict[str, tuple[FunctionType, frozenset[str]]] = {
+    # I/O
+    "print_int": (FunctionType(VOID, [I64]), frozenset({"io"})),
+    "print_float": (FunctionType(VOID, [DOUBLE]), frozenset({"io"})),
+    # Heap
+    "malloc": (FunctionType(PointerType(I8), [I64]), frozenset({"allocator"})),
+    "free": (FunctionType(VOID, [PointerType(I8)]), frozenset({"allocator"})),
+    # Math (pure: no memory effects)
+    "sqrt": (FunctionType(DOUBLE, [DOUBLE]), frozenset({"pure"})),
+    "exp": (FunctionType(DOUBLE, [DOUBLE]), frozenset({"pure"})),
+    "log": (FunctionType(DOUBLE, [DOUBLE]), frozenset({"pure"})),
+    "sin": (FunctionType(DOUBLE, [DOUBLE]), frozenset({"pure"})),
+    "cos": (FunctionType(DOUBLE, [DOUBLE]), frozenset({"pure"})),
+    "pow": (FunctionType(DOUBLE, [DOUBLE, DOUBLE]), frozenset({"pure"})),
+    "fabs": (FunctionType(DOUBLE, [DOUBLE]), frozenset({"pure"})),
+    "floor": (FunctionType(DOUBLE, [DOUBLE]), frozenset({"pure"})),
+    # Pseudo-random value generators (the PRVJeeves design space).
+    "rand": (FunctionType(I64, []), frozenset({"prvg"})),
+    "rand_lcg": (FunctionType(I64, []), frozenset({"prvg"})),
+    "rand_xorshift": (FunctionType(I64, []), frozenset({"prvg"})),
+    "rand_mt": (FunctionType(I64, []), frozenset({"prvg"})),
+    "rand_pcg": (FunctionType(I64, []), frozenset({"prvg"})),
+    "srand": (FunctionType(VOID, [I64]), frozenset({"prvg"})),
+    # Timing/OS hooks used by COOS and CARAT.
+    "os_callback": (FunctionType(VOID, []), frozenset({"os"})),
+    "os_time_hook": (FunctionType(VOID, [I64]), frozenset({"os"})),
+    "carat_guard": (FunctionType(VOID, [PointerType(I8), I64]), frozenset({"os"})),
+    "clock_set": (FunctionType(VOID, [I64]), frozenset({"os"})),
+    # Misc
+    "exit": (FunctionType(VOID, [I64]), frozenset({"io", "noreturn"})),
+    # Parallel runtime (the NOELLE runtime linked by noelle-linker).
+    # Dispatchers are variadic: (task fn ptr, env ptr, num_cores).
+    "noelle_dispatch_doall": (FunctionType(VOID, [], vararg=True), frozenset({"parallel"})),
+    "noelle_dispatch_helix": (FunctionType(VOID, [], vararg=True), frozenset({"parallel"})),
+    "noelle_dispatch_dswp": (FunctionType(VOID, [], vararg=True), frozenset({"parallel"})),
+    # DSWP inter-stage queues.
+    "queue_push_i64": (FunctionType(VOID, [I64, I64]), frozenset({"parallel"})),
+    "queue_pop_i64": (FunctionType(I64, [I64]), frozenset({"parallel"})),
+    "queue_push_f64": (FunctionType(VOID, [I64, DOUBLE]), frozenset({"parallel"})),
+    "queue_pop_f64": (FunctionType(DOUBLE, [I64]), frozenset({"parallel"})),
+    # HELIX sequential-segment markers and iteration boundary.
+    "helix_seq_begin": (FunctionType(VOID, [I64]), frozenset({"parallel"})),
+    "helix_seq_end": (FunctionType(VOID, [I64]), frozenset({"parallel"})),
+    "helix_iter_boundary": (FunctionType(VOID, []), frozenset({"parallel"})),
+}
+
+#: Intrinsics with no memory effects at all (safe for AA to ignore).
+PURE_INTRINSICS = frozenset(
+    name for name, (_, attrs) in INTRINSICS.items() if "pure" in attrs
+)
+
+#: The pseudo-random generator family PRVJeeves selects between.
+PRVG_INTRINSICS = frozenset(
+    name for name, (_, attrs) in INTRINSICS.items() if "prvg" in attrs
+)
+
+#: Allocators: return fresh memory disjoint from everything else.
+ALLOCATOR_INTRINSICS = frozenset({"malloc"})
+
+
+def is_intrinsic(fn: Function) -> bool:
+    return fn.is_declaration() and fn.name in INTRINSICS
+
+
+def declare_intrinsic(module: Module, name: str) -> Function:
+    """Get-or-create the declaration of a runtime intrinsic in ``module``."""
+    if name not in INTRINSICS:
+        raise KeyError(f"unknown intrinsic {name!r}")
+    fnty, attrs = INTRINSICS[name]
+    fn = module.declare_function(name, fnty)
+    fn.attributes |= attrs
+    return fn

@@ -1,0 +1,100 @@
+"""Module linker — the substrate behind ``noelle-whole-IR``/``noelle-linker``.
+
+Combines several modules into one whole-program module.  Declarations are
+resolved against definitions from other modules; name clashes between two
+*definitions* are an error (no weak/ODR semantics, which the paper's tools
+don't need).  NOELLE-specific metadata is preserved, mirroring the paper's
+``noelle-linker`` which "links IR files together while preserving the
+semantics of metadata".
+"""
+
+from __future__ import annotations
+
+from .module import Module
+
+
+class LinkError(Exception):
+    """Raised when two modules cannot be combined."""
+
+
+def link_modules(modules: list[Module], name: str = "whole-program") -> Module:
+    """Link ``modules`` into a single new module.
+
+    The input modules are consumed: their functions and globals are moved
+    (not copied) into the result, so the inputs must not be used afterwards.
+    """
+    if not modules:
+        raise LinkError("nothing to link")
+    result = Module(name)
+    for module in modules:
+        _merge_structs(result, module)
+    for module in modules:
+        _merge_globals(result, module)
+    for module in modules:
+        _merge_functions(result, module)
+    # Metadata from later modules wins key-by-key, matching how NOELLE's
+    # pipeline re-embeds profiles after transformations.
+    for module in modules:
+        result.metadata.update(module.metadata)
+    _check_unresolved(result)
+    return result
+
+
+def _merge_structs(result: Module, module: Module) -> None:
+    for name, struct in module.structs.items():
+        existing = result.structs.get(name)
+        if existing is None:
+            result.structs[name] = struct
+        elif existing.fields != struct.fields:
+            raise LinkError(f"struct %{name} defined with different bodies")
+        else:
+            # Keep a single canonical struct object: rewriting types inside
+            # instructions is unnecessary because struct equality is nominal.
+            pass
+
+
+def _merge_globals(result: Module, module: Module) -> None:
+    for name, gv in module.globals.items():
+        existing = result.globals.get(name)
+        if existing is None:
+            result.globals[name] = gv
+            continue
+        if existing.initializer is not None and gv.initializer is not None:
+            raise LinkError(f"global @{name} defined twice")
+        if existing.allocated_type != gv.allocated_type:
+            raise LinkError(f"global @{name} declared with different types")
+        if gv.initializer is not None:
+            # The definition replaces the tentative declaration.
+            existing.replace_all_uses_with(gv)
+            result.globals[name] = gv
+        else:
+            # Tentative re-declaration: fold into the existing global.
+            gv.replace_all_uses_with(existing)
+
+
+def _merge_functions(result: Module, module: Module) -> None:
+    for name, fn in module.functions.items():
+        existing = result.functions.get(name)
+        if existing is None:
+            fn.parent = result
+            result.functions[name] = fn
+            continue
+        if fn.function_type != existing.function_type:
+            raise LinkError(f"function @{name} declared with different types")
+        if fn.is_declaration():
+            # Redirect uses of the declaration to whatever is already there.
+            fn.replace_all_uses_with(existing)
+        elif existing.is_declaration():
+            existing.replace_all_uses_with(fn)
+            fn.parent = result
+            fn.attributes |= existing.attributes
+            result.functions[name] = fn
+        else:
+            raise LinkError(f"function @{name} defined twice")
+
+
+def _check_unresolved(result: Module) -> None:
+    # A whole-program module may still have external declarations (the
+    # runtime intrinsics); anything else unused-and-undefined is suspicious
+    # but legal, so nothing to do here.  The binary generator re-checks.
+    pass

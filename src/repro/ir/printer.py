@@ -1,0 +1,42 @@
+"""Textual printer for the repro IR.
+
+Emits an LLVM-flavoured textual form that :mod:`repro.ir.parser` can read
+back, giving a stable round-trippable serialization used by tests, the
+whole-IR tool, and golden files.
+"""
+
+from __future__ import annotations
+
+from .module import Function, Module
+
+
+def print_module(module: Module) -> str:
+    """Render a whole module as text."""
+    parts: list[str] = [f"; module {module.name}"]
+    for struct in module.structs.values():
+        fields = ", ".join(str(f) for f in struct.fields)
+        parts.append(f"%{struct.name} = type {{ {fields} }}")
+    for gv in module.globals.values():
+        init = f" {gv.initializer.ref()}" if gv.initializer is not None else ""
+        kind = "constant" if gv.constant else "global"
+        parts.append(f"@{gv.name} = {kind} {gv.allocated_type}{init}")
+    for fn in module.functions.values():
+        parts.append(print_function(fn))
+    return "\n\n".join(parts) + "\n"
+
+
+def print_function(fn: Function) -> str:
+    """Render one function (definition or declaration) as text."""
+    params = ", ".join(f"{arg.type} %{arg.name}" for arg in fn.args)
+    if fn.function_type.vararg:
+        params = f"{params}, ..." if params else "..."
+    attrs = (" " + " ".join(sorted(fn.attributes))) if fn.attributes else ""
+    header = f"@{fn.name}({params}) -> {fn.return_type}{attrs}"
+    if fn.is_declaration():
+        return f"declare {header}"
+    lines = [f"define {header} {{"]
+    for block in fn.blocks:
+        lines.append(f"{block.name}:")
+        lines.extend(f"  {inst}" for inst in block.instructions)
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,283 @@
+"""Type system for the repro IR.
+
+The IR is a typed SSA representation modeled after LLVM IR.  Types are
+immutable and interned where practical so identity comparison is cheap, but
+equality is always structural (two ``IntType(32)`` objects compare equal).
+
+The type lattice is deliberately small; it covers what the NOELLE layer and
+the custom tools need to observe:
+
+* integers of a given bit width (``i1`` is the boolean type),
+* a 64-bit float,
+* ``void`` (only as a function return type),
+* pointers (typed, like pre-opaque-pointer LLVM),
+* fixed-length arrays,
+* named structs, and
+* function types (for direct and indirect calls).
+"""
+
+from __future__ import annotations
+
+
+class Type:
+    """Base class for all IR types."""
+
+    def is_integer(self) -> bool:
+        return isinstance(self, IntType)
+
+    def is_float(self) -> bool:
+        return isinstance(self, FloatType)
+
+    def is_pointer(self) -> bool:
+        return isinstance(self, PointerType)
+
+    def is_void(self) -> bool:
+        return isinstance(self, VoidType)
+
+    def is_array(self) -> bool:
+        return isinstance(self, ArrayType)
+
+    def is_struct(self) -> bool:
+        return isinstance(self, StructType)
+
+    def is_function(self) -> bool:
+        return isinstance(self, FunctionType)
+
+    def is_scalar(self) -> bool:
+        """A scalar occupies one memory slot in the interpreter."""
+        return self.is_integer() or self.is_float() or self.is_pointer()
+
+    def size_in_slots(self) -> int:
+        """Size of a value of this type in abstract memory slots.
+
+        The interpreter's memory is slot-addressable: every scalar takes
+        exactly one slot.  This keeps pointer arithmetic exact without
+        modeling byte-level layout, which none of the reproduced analyses
+        need.
+        """
+        raise NotImplementedError(f"size_in_slots not defined for {self}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} {self}>"
+
+
+class IntType(Type):
+    """An integer type of a fixed bit width (``i1``, ``i8``, ``i32``, ...)."""
+
+    _cache: dict[int, "IntType"] = {}
+
+    def __new__(cls, width: int) -> "IntType":
+        cached = cls._cache.get(width)
+        if cached is not None:
+            return cached
+        if width <= 0:
+            raise ValueError(f"integer width must be positive, got {width}")
+        obj = super().__new__(cls)
+        obj.width = width
+        cls._cache[width] = obj
+        return obj
+
+    def size_in_slots(self) -> int:
+        return 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, IntType) and other.width == self.width
+
+    def __hash__(self) -> int:
+        return hash(("int", self.width))
+
+    def __str__(self) -> str:
+        return f"i{self.width}"
+
+
+class FloatType(Type):
+    """A 64-bit floating point type (``double`` in LLVM terms)."""
+
+    _instance: "FloatType | None" = None
+
+    def __new__(cls) -> "FloatType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def size_in_slots(self) -> int:
+        return 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, FloatType)
+
+    def __hash__(self) -> int:
+        return hash("float")
+
+    def __str__(self) -> str:
+        return "double"
+
+
+class VoidType(Type):
+    """The void type; only valid as a function return type."""
+
+    _instance: "VoidType | None" = None
+
+    def __new__(cls) -> "VoidType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def size_in_slots(self) -> int:
+        raise TypeError("void has no size")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, VoidType)
+
+    def __hash__(self) -> int:
+        return hash("void")
+
+    def __str__(self) -> str:
+        return "void"
+
+
+class PointerType(Type):
+    """A typed pointer (``T*``)."""
+
+    def __init__(self, pointee: Type):
+        if pointee.is_void():
+            raise ValueError("use i8* instead of void*")
+        self.pointee = pointee
+
+    def size_in_slots(self) -> int:
+        return 1
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PointerType) and other.pointee == self.pointee
+
+    def __hash__(self) -> int:
+        return hash(("ptr", self.pointee))
+
+    def __str__(self) -> str:
+        return f"{self.pointee}*"
+
+
+class ArrayType(Type):
+    """A fixed-length array (``[N x T]``)."""
+
+    def __init__(self, element: Type, count: int):
+        if count < 0:
+            raise ValueError(f"array length must be non-negative, got {count}")
+        self.element = element
+        self.count = count
+
+    def size_in_slots(self) -> int:
+        return self.element.size_in_slots() * self.count
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, ArrayType)
+            and other.element == self.element
+            and other.count == self.count
+        )
+
+    def __hash__(self) -> int:
+        return hash(("array", self.element, self.count))
+
+    def __str__(self) -> str:
+        return f"[{self.count} x {self.element}]"
+
+
+class StructType(Type):
+    """A named struct with ordered fields.
+
+    Structs are identified by name within a module (nominal typing), which
+    mirrors LLVM named struct types and keeps recursive types representable.
+    """
+
+    def __init__(self, name: str, fields: list[Type] | None = None):
+        self.name = name
+        self.fields: list[Type] = list(fields) if fields is not None else []
+
+    def set_body(self, fields: list[Type]) -> None:
+        self.fields = list(fields)
+
+    def field_offset(self, index: int) -> int:
+        """Slot offset of field ``index`` from the start of the struct."""
+        if not 0 <= index < len(self.fields):
+            raise IndexError(f"struct {self.name} has no field {index}")
+        return sum(f.size_in_slots() for f in self.fields[:index])
+
+    def size_in_slots(self) -> int:
+        return sum(f.size_in_slots() for f in self.fields)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, StructType) and other.name == self.name
+
+    def __hash__(self) -> int:
+        return hash(("struct", self.name))
+
+    def __str__(self) -> str:
+        return f"%{self.name}"
+
+
+class FunctionType(Type):
+    """The type of a function: return type plus parameter types."""
+
+    def __init__(self, ret: Type, params: list[Type], vararg: bool = False):
+        self.ret = ret
+        self.params = list(params)
+        self.vararg = vararg
+
+    def size_in_slots(self) -> int:
+        raise TypeError("function types have no size")
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, FunctionType)
+            and other.ret == self.ret
+            and other.params == self.params
+            and other.vararg == self.vararg
+        )
+
+    def __hash__(self) -> int:
+        return hash(("fn", self.ret, tuple(self.params), self.vararg))
+
+    def __str__(self) -> str:
+        params = ", ".join(str(p) for p in self.params)
+        if self.vararg:
+            params = f"{params}, ..." if params else "..."
+        return f"{self.ret} ({params})"
+
+
+class LabelType(Type):
+    """The type of a basic block when referenced as a branch target."""
+
+    _instance: "LabelType | None" = None
+
+    def __new__(cls) -> "LabelType":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def size_in_slots(self) -> int:
+        raise TypeError("labels have no size")
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LabelType)
+
+    def __hash__(self) -> int:
+        return hash("label")
+
+    def __str__(self) -> str:
+        return "label"
+
+
+# Commonly used singletons.
+VOID = VoidType()
+LABEL = LabelType()
+DOUBLE = FloatType()
+I1 = IntType(1)
+I8 = IntType(8)
+I32 = IntType(32)
+I64 = IntType(64)
+
+
+def pointer_to(ty: Type) -> PointerType:
+    """Convenience constructor mirroring ``Type::getPointerTo`` in LLVM."""
+    return PointerType(ty)

@@ -1,0 +1,240 @@
+"""IR verifier.
+
+Checks the structural and SSA well-formedness invariants every pass in the
+repository may assume:
+
+* every block ends in exactly one terminator, and terminators appear only
+  at block ends;
+* phis are grouped at the top of their block and have exactly one incoming
+  value per CFG predecessor;
+* every instruction use is dominated by its definition (the SSA property);
+* operand and result types are consistent;
+* branch targets belong to the same function.
+
+Transformation tests run the verifier after every rewrite, which is how the
+loop builder, scheduler, and the parallelizers are kept honest.
+"""
+
+from __future__ import annotations
+
+from .instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CmpInst,
+    CondBranch,
+    ElemPtr,
+    Instruction,
+    Load,
+    Phi,
+    Ret,
+    Store,
+    Switch,
+    TerminatorInst,
+)
+from .module import BasicBlock, Function, Module
+from .values import Argument, Constant, Value
+
+
+class VerificationError(Exception):
+    """Raised when a module violates an IR invariant."""
+
+
+def verify_module(module: Module) -> None:
+    """Verify every function of ``module``; raise on the first violation."""
+    for fn in module.functions.values():
+        if not fn.is_declaration():
+            verify_function(fn)
+
+
+def verify_function(fn: Function) -> None:
+    """Verify a single function definition."""
+    if fn.is_declaration():
+        return
+    _check_block_structure(fn)
+    _check_phis(fn)
+    _check_types(fn)
+    _check_ssa_dominance(fn)
+
+
+def _fail(fn: Function, message: str) -> None:
+    raise VerificationError(f"in @{fn.name}: {message}")
+
+
+def _check_block_structure(fn: Function) -> None:
+    block_set = set(id(b) for b in fn.blocks)
+    for block in fn.blocks:
+        if not block.instructions:
+            _fail(fn, f"block %{block.name} is empty")
+        for inst in block.instructions[:-1]:
+            if isinstance(inst, TerminatorInst):
+                _fail(fn, f"terminator {inst} is not at the end of %{block.name}")
+        last = block.instructions[-1]
+        if not isinstance(last, TerminatorInst):
+            _fail(fn, f"block %{block.name} does not end in a terminator")
+        for succ in last.successors():
+            if id(succ) not in block_set:
+                _fail(
+                    fn,
+                    f"%{block.name} branches to %{succ.name}, "
+                    "which is not in this function",
+                )
+        for inst in block.instructions:
+            if inst.parent is not block:
+                _fail(fn, f"{inst} has a stale parent pointer")
+
+
+def _check_phis(fn: Function) -> None:
+    for block in fn.blocks:
+        preds = block.predecessors()
+        pred_ids = {id(p) for p in preds}
+        seen_non_phi = False
+        for inst in block.instructions:
+            if isinstance(inst, Phi):
+                if seen_non_phi:
+                    _fail(fn, f"phi {inst.ref()} is not at the top of %{block.name}")
+                incoming_ids = set()
+                for value, pred in inst.incoming():
+                    if id(pred) not in pred_ids:
+                        _fail(
+                            fn,
+                            f"phi {inst.ref()} has an edge from non-predecessor "
+                            f"%{pred.name} of %{block.name}",
+                        )
+                    if id(pred) in incoming_ids:
+                        _fail(fn, f"phi {inst.ref()} has duplicate edge from %{pred.name}")
+                    incoming_ids.add(id(pred))
+                    if value.type != inst.type:
+                        _fail(
+                            fn,
+                            f"phi {inst.ref()} incoming value {value.ref()} has type "
+                            f"{value.type}, expected {inst.type}",
+                        )
+                if incoming_ids != pred_ids:
+                    missing = [p.name for p in preds if id(p) not in incoming_ids]
+                    _fail(
+                        fn,
+                        f"phi {inst.ref()} in %{block.name} is missing edges "
+                        f"from {missing}",
+                    )
+            else:
+                seen_non_phi = True
+
+
+def _check_types(fn: Function) -> None:
+    for block in fn.blocks:
+        for inst in block.instructions:
+            _check_instruction_types(fn, inst)
+
+
+def _check_instruction_types(fn: Function, inst: Instruction) -> None:
+    if isinstance(inst, BinaryOp):
+        if inst.lhs.type != inst.rhs.type:
+            _fail(fn, f"operand type mismatch in {inst}")
+        if inst.type != inst.lhs.type:
+            _fail(fn, f"result type mismatch in {inst}")
+    elif isinstance(inst, CmpInst):
+        if inst.lhs.type != inst.rhs.type:
+            _fail(fn, f"operand type mismatch in {inst}")
+    elif isinstance(inst, Load):
+        if not inst.pointer.type.is_pointer():
+            _fail(fn, f"load from non-pointer in {inst}")
+        if inst.type != inst.pointer.type.pointee:
+            _fail(fn, f"load type mismatch in {inst}")
+    elif isinstance(inst, Store):
+        if not inst.pointer.type.is_pointer():
+            _fail(fn, f"store to non-pointer in {inst}")
+        if inst.value.type != inst.pointer.type.pointee:
+            _fail(fn, f"store type mismatch in {inst}")
+    elif isinstance(inst, Call):
+        callee_ty = inst.callee.type
+        if not (callee_ty.is_pointer() and callee_ty.pointee.is_function()):
+            _fail(fn, f"call to non-function in {inst}")
+        fnty = callee_ty.pointee
+        if not fnty.vararg:
+            if len(inst.args) != len(fnty.params):
+                _fail(fn, f"wrong argument count in {inst}")
+            for arg, param_ty in zip(inst.args, fnty.params):
+                if arg.type != param_ty:
+                    _fail(fn, f"argument type mismatch in {inst}")
+        if inst.type != fnty.ret:
+            _fail(fn, f"return type mismatch in {inst}")
+    elif isinstance(inst, Ret):
+        expected = fn.return_type
+        if expected.is_void():
+            if inst.value is not None:
+                _fail(fn, "ret with a value in a void function")
+        else:
+            if inst.value is None:
+                _fail(fn, "ret without a value in a non-void function")
+            elif inst.value.type != expected:
+                _fail(fn, f"ret type {inst.value.type}, expected {expected}")
+    elif isinstance(inst, CondBranch):
+        ty = inst.condition.type
+        if not (ty.is_integer() and ty.width == 1):
+            _fail(fn, f"cond_br condition is not i1 in {inst}")
+    elif isinstance(inst, Switch):
+        if not inst.value.type.is_integer():
+            _fail(fn, f"switch on non-integer in {inst}")
+    elif isinstance(inst, (Alloca, ElemPtr, Cast, Branch, Phi)):
+        pass  # Construction-time checks cover these.
+
+
+def _check_ssa_dominance(fn: Function) -> None:
+    # Local import to avoid a package cycle: the analysis package builds on ir.
+    from ..analysis.dominators import DominatorTree
+
+    dom = DominatorTree(fn)
+    positions: dict[int, tuple[BasicBlock, int]] = {}
+    for block in fn.blocks:
+        for index, inst in enumerate(block.instructions):
+            positions[id(inst)] = (block, index)
+
+    for block in fn.blocks:
+        for index, inst in enumerate(block.instructions):
+            if isinstance(inst, Phi):
+                for value, pred in inst.incoming():
+                    _check_reaches_edge(fn, dom, value, pred, positions)
+                continue
+            for operand in inst.operands:
+                if not isinstance(operand, Instruction):
+                    _check_non_instruction_operand(fn, inst, operand)
+                    continue
+                def_block, def_index = positions.get(id(operand), (None, -1))
+                if def_block is None:
+                    _fail(fn, f"{inst} uses {operand.ref()} from another function")
+                if def_block is block:
+                    if def_index >= index:
+                        _fail(fn, f"{inst} uses {operand.ref()} before its definition")
+                elif not dom.dominates_block(def_block, block):
+                    _fail(
+                        fn,
+                        f"{inst} in %{block.name} uses {operand.ref()} defined in "
+                        f"non-dominating block %{def_block.name}",
+                    )
+
+
+def _check_reaches_edge(fn, dom, value: Value, pred: BasicBlock, positions) -> None:
+    if not isinstance(value, Instruction):
+        return
+    def_block = positions.get(id(value), (None, -1))[0]
+    if def_block is None:
+        _fail(fn, f"phi uses {value.ref()} from another function")
+    if not dom.dominates_block(def_block, pred):
+        _fail(
+            fn,
+            f"phi incoming {value.ref()} from %{pred.name} is not dominated "
+            f"by its definition in %{def_block.name}",
+        )
+
+
+def _check_non_instruction_operand(fn: Function, inst: Instruction, operand: Value) -> None:
+    if isinstance(operand, Argument):
+        if operand.parent is not fn:
+            _fail(fn, f"{inst} uses argument of another function")
+    elif isinstance(operand, (Constant, BasicBlock)):
+        pass
+    else:
+        _fail(fn, f"{inst} has an operand of unexpected kind: {operand!r}")

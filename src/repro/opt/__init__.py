@@ -1,0 +1,11 @@
+"""repro.opt — substrate IR transforms (mem2reg, simplification)."""
+
+from .mem2reg import promote_allocas, promote_allocas_module
+from .simplify import simplify_function, simplify_module
+
+__all__ = [
+    "promote_allocas",
+    "promote_allocas_module",
+    "simplify_function",
+    "simplify_module",
+]

@@ -1,0 +1,5 @@
+"""repro.runtime — the simulated multicore machine and parallel runtime."""
+
+from .machine import FORK_OVERHEAD, JOIN_OVERHEAD, ParallelExecution, ParallelMachine
+
+__all__ = ["FORK_OVERHEAD", "JOIN_OVERHEAD", "ParallelExecution", "ParallelMachine"]

@@ -1,0 +1,29 @@
+"""repro.testing — NOELLE's testing infrastructure (Section 2.4).
+
+A generated micro-test corpus of corner-case programs, a harness that runs
+them through configurable custom-tool pipelines (including forcing a
+parallelizer onto one specific loop), and a generator for the sequential
+bash driver script.
+"""
+
+from .corpus import MicroTest, build_corpus, tests_with_pattern
+from .harness import (
+    DEFAULT_CONFIGS,
+    TestOutcome,
+    ToolConfig,
+    generate_bash_script,
+    run_corpus,
+    run_micro_test,
+)
+
+__all__ = [
+    "MicroTest",
+    "build_corpus",
+    "tests_with_pattern",
+    "DEFAULT_CONFIGS",
+    "TestOutcome",
+    "ToolConfig",
+    "generate_bash_script",
+    "run_corpus",
+    "run_micro_test",
+]

@@ -1,0 +1,49 @@
+"""Run one micro test under one configuration (the bash script's worker).
+
+Usage:  python -m repro.testing --test loop_for_sum_n17_s1 --config doall
+        python -m repro.testing --list
+        python -m repro.testing --emit-script > run_all.sh
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .corpus import build_corpus
+from .harness import DEFAULT_CONFIGS, generate_bash_script, run_micro_test
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="python -m repro.testing")
+    parser.add_argument("--test")
+    parser.add_argument("--config")
+    parser.add_argument("--list", action="store_true")
+    parser.add_argument("--emit-script", action="store_true")
+    args = parser.parse_args(argv)
+
+    if args.emit_script:
+        sys.stdout.write(generate_bash_script())
+        return 0
+    corpus = {t.name: t for t in build_corpus()}
+    if args.list:
+        for name, test in corpus.items():
+            print(f"{name:40s} {' '.join(sorted(test.patterns))}")
+        return 0
+    configs = {c.name: c for c in DEFAULT_CONFIGS}
+    if args.test not in corpus:
+        print(f"unknown test {args.test!r}", file=sys.stderr)
+        return 2
+    if args.config not in configs:
+        print(f"unknown config {args.config!r}", file=sys.stderr)
+        return 2
+    outcome = run_micro_test(corpus[args.test], configs[args.config])
+    if outcome.passed:
+        print(f"PASS {args.test} @ {args.config}")
+        return 0
+    print(f"FAIL {args.test} @ {args.config}: {outcome.detail}")
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,261 @@
+"""The micro-test corpus (Section 2.4).
+
+NOELLE ships hundreds of micro C/C++ programs "to illustrate corner cases
+or common code patterns found in popular benchmark suites", so users can
+exercise their custom tools without paying the suites' compilation and
+profiling costs.  This module provides the same thing: a generated corpus
+of small MiniC programs, each tagged with the patterns it exercises.
+
+The corpus is *generated* from pattern templates crossed with parameter
+grids — the way real corner-case suites grow — so it stays deterministic
+and self-describing rather than being hundreds of pasted files.
+"""
+
+from __future__ import annotations
+
+
+class MicroTest:
+    """One micro program with the patterns it exercises."""
+
+    def __init__(self, name: str, source: str, patterns: set[str]):
+        self.name = name
+        self.source = source
+        self.patterns = patterns
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<MicroTest {self.name}>"
+
+
+def _loop_shape_tests() -> list[MicroTest]:
+    tests = []
+    shapes = {
+        "while": "int i = 0;\n  while (i < {n}) {{ {body} i = i + {step}; }}",
+        "do_while": "int i = 0;\n  do {{ {body} i = i + {step}; }} while (i < {n});",
+        "for": "int i;\n  for (i = 0; i < {n}; i = i + {step}) {{ {body} }}",
+        "down": "int i = {n};\n  while (i > 0) {{ {body} i = i - {step}; }}",
+    }
+    bodies = {
+        "sum": ("acc = acc + i;", "reduction"),
+        "store": ("buf[i % 16] = i;", "memory-write"),
+        "mixed": ("acc = acc + buf[i % 16]; buf[(i + 1) % 16] = i;", "memory-mixed"),
+    }
+    for shape_name, shape in shapes.items():
+        for body_name, (body, body_pattern) in bodies.items():
+            for n, step in ((0, 1), (1, 1), (17, 1), (64, 3)):
+                if shape_name == "down" and n == 0:
+                    continue  # down-counting from 0 never enters
+                name = f"loop_{shape_name}_{body_name}_n{n}_s{step}"
+                loop = shape.format(n=n, step=step, body=body)
+                source = f"""
+int buf[16];
+int main() {{
+  int acc = 0;
+  {loop}
+  print_int(acc);
+  print_int(buf[3]);
+  return acc;
+}}
+"""
+                tests.append(MicroTest(
+                    name, source,
+                    {f"shape:{shape_name}", body_pattern, "loop"},
+                ))
+    return tests
+
+
+def _reduction_tests() -> list[MicroTest]:
+    tests = []
+    for op_name, op, init in (("add", "+", 0), ("xor", "^", 0), ("mul", "*", 1),
+                              ("or", "|", 0)):
+        source = f"""
+int data[40];
+int main() {{
+  int i;
+  int acc = {init};
+  for (i = 0; i < 40; i = i + 1) {{ data[i] = (i * 13 + 5) % 9 + 1; }}
+  for (i = 0; i < 40; i = i + 1) {{ acc = acc {op} data[i]; }}
+  print_int(acc);
+  return acc;
+}}
+"""
+        tests.append(MicroTest(
+            f"reduction_{op_name}", source, {"reduction", f"op:{op_name}", "loop"}
+        ))
+    return tests
+
+
+def _aliasing_tests() -> list[MicroTest]:
+    return [
+        MicroTest("alias_disjoint_args", """
+int a[20];
+int b[20];
+void kernel(int *p, int *q) {
+  int i;
+  for (i = 0; i < 20; i = i + 1) { q[i] = p[i] * 2; }
+}
+int main() {
+  int i;
+  for (i = 0; i < 20; i = i + 1) { a[i] = i; }
+  kernel(a, b);
+  print_int(b[7]);
+  return b[7];
+}
+""", {"aliasing", "pointer-args", "loop"}),
+        MicroTest("alias_same_array", """
+int a[20];
+void kernel(int *p, int *q) {
+  int i;
+  for (i = 1; i < 20; i = i + 1) { q[i] = p[i - 1] + 1; }
+}
+int main() {
+  a[0] = 5;
+  kernel(a, a);
+  print_int(a[19]);
+  return a[19];
+}
+""", {"aliasing", "recurrence", "loop"}),
+        MicroTest("alias_heap_sites", """
+int main() {
+  int *p = (int *)malloc(8);
+  int *q = (int *)malloc(8);
+  int i;
+  for (i = 0; i < 8; i = i + 1) { p[i] = i; q[i] = i * 2; }
+  int r = p[3] + q[3];
+  free((char *)p);
+  free((char *)q);
+  print_int(r);
+  return r;
+}
+""", {"aliasing", "heap", "loop"}),
+        MicroTest("alias_global_accumulator", """
+int cell = 0;
+int noise[8];
+int main() {
+  int i;
+  for (i = 0; i < 30; i = i + 1) {
+    cell = cell + i;
+    noise[i % 8] = cell;
+  }
+  print_int(cell);
+  return cell;
+}
+""", {"aliasing", "memory-accumulator", "loop"}),
+    ]
+
+
+def _control_flow_tests() -> list[MicroTest]:
+    return [
+        MicroTest("cf_early_exit", """
+int data[50];
+int main() {
+  int i;
+  int found = 0 - 1;
+  for (i = 0; i < 50; i = i + 1) { data[i] = (i * 7) % 50; }
+  for (i = 0; i < 50; i = i + 1) {
+    if (data[i] == 21) { found = i; break; }
+  }
+  print_int(found);
+  return found;
+}
+""", {"control-flow", "early-exit", "loop"}),
+        MicroTest("cf_nested_conditionals", """
+int main() {
+  int i;
+  int a = 0;
+  int b = 0;
+  for (i = 0; i < 30; i = i + 1) {
+    if (i % 2 == 0) {
+      if (i % 3 == 0) { a = a + i; } else { b = b + 1; }
+    } else {
+      a = a - 1;
+    }
+  }
+  print_int(a * 100 + b);
+  return a;
+}
+""", {"control-flow", "nested-if", "loop"}),
+        MicroTest("cf_switch_fallthrough", """
+int main() {
+  int i;
+  int acc = 0;
+  for (i = 0; i < 12; i = i + 1) {
+    switch (i % 4) {
+      case 0: acc = acc + 1;
+      case 1: acc = acc + 10; break;
+      case 2: acc = acc + 100; break;
+      default: acc = acc + 1000;
+    }
+  }
+  print_int(acc);
+  return acc;
+}
+""", {"control-flow", "switch", "loop"}),
+        MicroTest("cf_recursion", """
+int depth_sum(int n) {
+  if (n == 0) { return 0; }
+  return n + depth_sum(n - 1);
+}
+int main() {
+  int r = depth_sum(15);
+  print_int(r);
+  return r;
+}
+""", {"control-flow", "recursion"}),
+        MicroTest("cf_indirect_call", """
+int sel = 1;
+int inc(int x) { return x + 1; }
+int dbl(int x) { return x * 2; }
+int main() {
+  int (*f)(int);
+  int i;
+  int acc = 0;
+  for (i = 0; i < 10; i = i + 1) {
+    if ((i + sel) % 2 == 0) { f = inc; } else { f = dbl; }
+    acc = acc + f(i);
+  }
+  print_int(acc);
+  return acc;
+}
+""", {"control-flow", "indirect-call", "loop"}),
+    ]
+
+
+def _nesting_tests() -> list[MicroTest]:
+    tests = []
+    for outer, inner in ((3, 4), (8, 8), (1, 20)):
+        source = f"""
+int grid[{outer * inner}];
+int main() {{
+  int i;
+  int j;
+  int acc = 0;
+  for (i = 0; i < {outer}; i = i + 1) {{
+    for (j = 0; j < {inner}; j = j + 1) {{
+      grid[i * {inner} + j] = i * 10 + j;
+      acc = acc + grid[i * {inner} + j] % 7;
+    }}
+  }}
+  print_int(acc);
+  return acc;
+}}
+"""
+        tests.append(MicroTest(
+            f"nest_{outer}x{inner}", source, {"nesting", "loop", "memory-write"}
+        ))
+    return tests
+
+
+def build_corpus() -> list[MicroTest]:
+    """The full generated corpus (deterministic order)."""
+    corpus: list[MicroTest] = []
+    corpus.extend(_loop_shape_tests())
+    corpus.extend(_reduction_tests())
+    corpus.extend(_aliasing_tests())
+    corpus.extend(_control_flow_tests())
+    corpus.extend(_nesting_tests())
+    return corpus
+
+
+def tests_with_pattern(pattern: str) -> list[MicroTest]:
+    """Corpus subset exercising one pattern (e.g. ``"reduction"``)."""
+    return [t for t in build_corpus() if pattern in t.patterns]

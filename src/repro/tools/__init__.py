@@ -1,0 +1,39 @@
+"""repro.tools — the noelle-* deployment tools (the paper's Table 2)."""
+
+from .meta_pdg_embed import embed_pdg, has_embedded_pdg, load_embedded_pdg
+from .pipeline import (
+    Binary,
+    helix_pipeline,
+    link,
+    load,
+    make_binary,
+    measure_architecture,
+    meta_clean,
+    meta_prof_embed,
+    prof_coverage,
+)
+from .rm_lc_dependences import remove_loop_carried_dependences
+from .whole_ir import (
+    link_options_of,
+    whole_ir_from_files,
+    whole_ir_from_sources,
+)
+
+__all__ = [
+    "embed_pdg",
+    "has_embedded_pdg",
+    "load_embedded_pdg",
+    "Binary",
+    "helix_pipeline",
+    "link",
+    "load",
+    "make_binary",
+    "measure_architecture",
+    "meta_clean",
+    "meta_prof_embed",
+    "prof_coverage",
+    "remove_loop_carried_dependences",
+    "link_options_of",
+    "whole_ir_from_files",
+    "whole_ir_from_sources",
+]

@@ -1,0 +1,214 @@
+"""Command-line front door for the noelle-* tools.
+
+Mirrors how the paper's users drive NOELLE from the shell (Figure 1):
+
+    repro-noelle whole-ir a.mc b.mc -o program.ir
+    repro-noelle profile program.ir
+    repro-noelle parallelize program.ir --technique helix --cores 12 -o par.ir
+    repro-noelle run par.ir --cores 12
+    repro-noelle licm program.ir -o opt.ir
+    repro-noelle dead program.ir -o slim.ir
+    repro-noelle report program.ir          # PDG/loop/IV summary
+
+Files: ``.mc`` MiniC sources, ``.ir`` textual IR.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from ..core.noelle import Noelle
+from ..core.profiler import Profiler
+from ..ir import Module, parse_module, print_module, verify_module
+from ..runtime.machine import ParallelMachine
+from .pipeline import make_binary, prof_coverage
+from .rm_lc_dependences import remove_loop_carried_dependences
+from .whole_ir import whole_ir_from_files
+
+
+def _load_ir(path: str) -> Module:
+    with open(path) as handle:
+        module = parse_module(handle.read(), path)
+    verify_module(module)
+    return module
+
+
+def _save_ir(module: Module, path: str | None) -> None:
+    text = print_module(module)
+    if path is None or path == "-":
+        sys.stdout.write(text)
+    else:
+        with open(path, "w") as handle:
+            handle.write(text)
+        print(f"wrote {path}", file=sys.stderr)
+
+
+def _cmd_whole_ir(args) -> int:
+    module = whole_ir_from_files(args.inputs, args.link_option)
+    _save_ir(module, args.output)
+    return 0
+
+
+def _cmd_run(args) -> int:
+    module = _load_ir(args.input)
+    machine = ParallelMachine(module, num_cores=args.cores)
+    result = machine.run()
+    for value in result.output:
+        print(value)
+    if result.trapped:
+        print(f"TRAP: {result.trapped}", file=sys.stderr)
+        return 1
+    print(f"[{result.cycles} cycles on {args.cores or 'default'} cores]",
+          file=sys.stderr)
+    return 0
+
+
+def _cmd_profile(args) -> int:
+    module = _load_ir(args.input)
+    profile = prof_coverage(module)
+    noelle = Noelle(module, profile=profile)
+    print(f"{'function':20s} {'invocations':>12s} {'hotness':>8s}")
+    for fn in module.defined_functions():
+        print(
+            f"{fn.name:20s} {profile.function_invocations(fn):12d} "
+            f"{profile.function_hotness(fn):8.3f}"
+        )
+    print(f"\n{'loop':30s} {'iterations':>11s} {'hotness':>8s}")
+    for fn in module.defined_functions():
+        for loop in noelle.loop_info(fn).loops():
+            label = f"{fn.name}/%{loop.header.name}"
+            print(
+                f"{label:30s} {profile.loop_total_iterations(loop):11d} "
+                f"{profile.loop_hotness(loop):8.3f}"
+            )
+    return 0
+
+
+def _cmd_parallelize(args) -> int:
+    module = _load_ir(args.input)
+    noelle = Noelle(module)
+    noelle.attach_profile(Profiler(module).profile())
+    remove_loop_carried_dependences(noelle)
+    if args.technique == "doall":
+        from ..xforms.doall import DOALL
+
+        count = DOALL(noelle, args.cores).run(args.min_hotness)
+    elif args.technique == "helix":
+        from ..xforms.helix import HELIX
+
+        count = HELIX(noelle, args.cores).run(args.min_hotness)
+    else:
+        from ..xforms.dswp import DSWP
+
+        count = DSWP(noelle, num_stages=args.stages).run(args.min_hotness)
+    print(f"parallelized {count} loop(s) with {args.technique}",
+          file=sys.stderr)
+    verify_module(module)
+    _save_ir(module, args.output)
+    return 0
+
+
+def _cmd_licm(args) -> int:
+    from ..xforms.licm import LICM
+
+    module = _load_ir(args.input)
+    hoisted = LICM(Noelle(module)).run()
+    print(f"hoisted {hoisted} invariant instruction(s)", file=sys.stderr)
+    _save_ir(module, args.output)
+    return 0
+
+
+def _cmd_dead(args) -> int:
+    from ..xforms.dead import DeadFunctionEliminator
+
+    module = _load_ir(args.input)
+    before = module.num_instructions()
+    removed = DeadFunctionEliminator(Noelle(module)).run()
+    after = module.num_instructions()
+    print(
+        f"removed {len(removed)} function(s): {', '.join(removed) or '-'} "
+        f"({before} -> {after} instructions)",
+        file=sys.stderr,
+    )
+    _save_ir(module, args.output)
+    return 0
+
+
+def _cmd_report(args) -> int:
+    module = _load_ir(args.input)
+    noelle = Noelle(module)
+    pdg = noelle.pdg()
+    print(f"module: {module.name}")
+    print(f"  functions: {len(module.functions)} "
+          f"({sum(1 for _ in module.defined_functions())} defined)")
+    print(f"  instructions: {module.num_instructions()}")
+    print(f"  PDG: {pdg.num_nodes()} nodes, {pdg.num_edges()} edges "
+          f"({pdg.memory_disproved}/{pdg.memory_queries} memory deps disproved)")
+    for loop in noelle.loops():
+        dag = loop.sccdag
+        iv = loop.governing_iv()
+        print(
+            f"  loop {loop.structure.function.name}/%{loop.structure.header.name}: "
+            f"{len(dag.sccs)} SCCs "
+            f"(seq={len(dag.sequential_sccs())}, red={len(dag.reducible_sccs())}) "
+            f"governing-IV={'yes' if iv else 'no'} doall={loop.is_doall()}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-noelle",
+        description="The noelle-* tool chain of the NOELLE reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    whole = sub.add_parser("whole-ir", help="compile+link sources into one IR file")
+    whole.add_argument("inputs", nargs="+")
+    whole.add_argument("-o", "--output", default=None)
+    whole.add_argument("--link-option", action="append", default=[])
+    whole.set_defaults(func=_cmd_whole_ir)
+
+    run = sub.add_parser("run", help="execute an IR file on the simulated machine")
+    run.add_argument("input")
+    run.add_argument("--cores", type=int, default=None)
+    run.set_defaults(func=_cmd_run)
+
+    profile = sub.add_parser("profile", help="noelle-prof-coverage summary")
+    profile.add_argument("input")
+    profile.set_defaults(func=_cmd_profile)
+
+    par = sub.add_parser("parallelize", help="apply DOALL/HELIX/DSWP")
+    par.add_argument("input")
+    par.add_argument("-o", "--output", default=None)
+    par.add_argument("--technique", choices=("doall", "helix", "dswp"),
+                     default="doall")
+    par.add_argument("--cores", type=int, default=12)
+    par.add_argument("--stages", type=int, default=4)
+    par.add_argument("--min-hotness", type=float, default=0.02)
+    par.set_defaults(func=_cmd_parallelize)
+
+    licm = sub.add_parser("licm", help="loop invariant code motion")
+    licm.add_argument("input")
+    licm.add_argument("-o", "--output", default=None)
+    licm.set_defaults(func=_cmd_licm)
+
+    dead = sub.add_parser("dead", help="dead function elimination")
+    dead.add_argument("input")
+    dead.add_argument("-o", "--output", default=None)
+    dead.set_defaults(func=_cmd_dead)
+
+    report = sub.add_parser("report", help="PDG/loop/IV summary of an IR file")
+    report.add_argument("input")
+    report.set_defaults(func=_cmd_report)
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,77 @@
+"""``noelle-meta-pdg-embed`` — compute the PDG once, carry it as metadata.
+
+The PDG is the most expensive abstraction (it runs the whole-module alias
+analyses).  This tool computes it, serializes every edge against NOELLE's
+deterministic instruction IDs, and embeds the result in the module, so a
+later ``noelle-load`` can reconstruct the PDG without re-running any
+memory analysis.
+"""
+
+from __future__ import annotations
+
+from ..analysis.pointsto import AndersenAliasAnalysis
+from ..core.metadata import IDAssigner
+from ..core.pdg import PDG
+from ..ir.module import Module
+
+PDG_EDGES_KEY = "noelle.pdg.edges"
+PDG_STATS_KEY = "noelle.pdg.stats"
+
+
+def embed_pdg(module: Module, pdg: PDG | None = None) -> PDG:
+    """Compute (or accept) the PDG and embed it; returns the PDG used."""
+    ids = IDAssigner(module)
+    if pdg is None:
+        pdg = PDG(module, AndersenAliasAnalysis(module))
+    serialized: list[tuple] = []
+    for edge in pdg.edges():
+        src_id = ids.instruction_ids.get(id(edge.src.value))
+        dst_id = ids.instruction_ids.get(id(edge.dst.value))
+        if src_id is None or dst_id is None:
+            continue  # edge references code outside the current module
+        serialized.append(
+            (
+                src_id,
+                dst_id,
+                edge.kind,
+                edge.data_kind,
+                edge.is_memory,
+                edge.is_must,
+            )
+        )
+    module.metadata[PDG_EDGES_KEY] = serialized
+    module.metadata[PDG_STATS_KEY] = {
+        "memory_queries": pdg.memory_queries,
+        "memory_disproved": pdg.memory_disproved,
+    }
+    return pdg
+
+
+def load_embedded_pdg(module: Module) -> PDG | None:
+    """Rebuild the PDG from metadata; None when nothing is embedded."""
+    serialized = module.metadata.get(PDG_EDGES_KEY)
+    if serialized is None:
+        return None
+    ids = IDAssigner(module)
+    pdg = PDG.__new__(PDG)
+    # Initialize the graph without running any analysis.
+    from ..core.depgraph import DependenceGraph
+
+    DependenceGraph.__init__(pdg)
+    pdg.module = module
+    pdg.aa = None
+    stats = module.metadata.get(PDG_STATS_KEY, {})
+    pdg.memory_queries = stats.get("memory_queries", 0)
+    pdg.memory_disproved = stats.get("memory_disproved", 0)
+    for fn in module.defined_functions():
+        for inst in fn.instructions():
+            pdg.add_node(inst, internal=True)
+    for src_id, dst_id, kind, data_kind, is_memory, is_must in serialized:
+        src = ids.instruction_by_id(src_id)
+        dst = ids.instruction_by_id(dst_id)
+        pdg.add_edge(src, dst, kind, data_kind, is_memory, is_must)
+    return pdg
+
+
+def has_embedded_pdg(module: Module) -> bool:
+    return PDG_EDGES_KEY in module.metadata

@@ -1,0 +1,152 @@
+"""The remaining noelle-* tools and the pipeline driver (Figure 1).
+
+* ``noelle-prof-coverage``  -> :func:`prof_coverage`
+* ``noelle-meta-prof-embed`` -> :func:`meta_prof_embed`
+* ``noelle-meta-clean``      -> :func:`meta_clean`
+* ``noelle-arch``            -> :func:`measure_architecture`
+* ``noelle-load``            -> :func:`load`
+* ``noelle-linker``          -> :func:`link`
+* ``noelle-bin``             -> :class:`Binary` / :func:`make_binary`
+
+:func:`helix_pipeline` strings them together exactly as the paper's
+Figure 1 does for the HELIX custom tool.
+"""
+
+from __future__ import annotations
+
+from ..core.architecture import ArchitectureDescription
+from ..core.metadata import clean_noelle_metadata
+from ..core.noelle import Noelle
+from ..core.profiler import ProfileData, Profiler, embed_profile
+from ..interp.interp import ExecutionResult
+from ..ir import Module, link_modules, verify_module
+from ..runtime.machine import ParallelMachine
+from .meta_pdg_embed import embed_pdg, load_embedded_pdg
+from .rm_lc_dependences import remove_loop_carried_dependences
+from .whole_ir import link_options_of
+
+
+def prof_coverage(
+    module: Module, training_args: list[object] | None = None
+) -> ProfileData:
+    """``noelle-prof-coverage``: run the instrumented program."""
+    return Profiler(module).profile(args=training_args)
+
+
+def meta_prof_embed(module: Module, profile: ProfileData) -> None:
+    """``noelle-meta-prof-embed``: persist counts into the IR."""
+    embed_profile(module, profile)
+
+
+def meta_clean(module: Module) -> int:
+    """``noelle-meta-clean``: strip all noelle.* metadata."""
+    return clean_noelle_metadata(module)
+
+
+def measure_architecture(
+    num_cores: int = 12, smt: int = 2, numa: int = 1
+) -> ArchitectureDescription:
+    """``noelle-arch``: probe the (simulated) machine.
+
+    On real hardware the tool runs ping-pong kernels between core pairs
+    (via hwloc); here the machine *is* the model, so probing asks the
+    model and records the answer per pair — keeping the description
+    byte-for-byte consistent with what the runtime will charge.
+    """
+    arch = ArchitectureDescription(num_cores, smt, numa)
+    for src in range(arch.num_physical_cores):
+        for dst in range(src + 1, arch.num_physical_cores):
+            arch.set_latency(src, dst, arch.latency(src, dst))
+            arch.set_bandwidth(src, dst, arch.bandwidth(src, dst))
+    return arch
+
+
+def load(
+    module: Module,
+    architecture: ArchitectureDescription | None = None,
+    profile: ProfileData | None = None,
+    minimum_hotness: float = 0.0,
+) -> Noelle:
+    """``noelle-load``: bring the layer up *without computing* anything.
+
+    Abstractions materialize on first use; a PDG embedded by
+    ``noelle-meta-pdg-embed`` is reused instead of recomputed.
+    """
+    noelle = Noelle(module, architecture, profile, minimum_hotness)
+    embedded = load_embedded_pdg(module)
+    if embedded is not None:
+        noelle._pdg = embedded
+    return noelle
+
+
+def link(modules: list[Module], name: str = "linked") -> Module:
+    """``noelle-linker``: combine modules, preserving noelle metadata."""
+    return link_modules(modules, name)
+
+
+class Binary:
+    """``noelle-bin``'s output: an executable program image.
+
+    Runs on the simulated machine; the link options embedded by
+    ``noelle-whole-IR`` select the runtime pieces (parallel dispatch).
+    """
+
+    def __init__(self, module: Module, num_cores: int | None = None,
+                 architecture: ArchitectureDescription | None = None):
+        verify_module(module)
+        self.module = module
+        self.num_cores = num_cores
+        self.architecture = architecture
+        self.link_options = link_options_of(module)
+
+    def run(self, args: list[object] | None = None,
+            entry: str = "main") -> ExecutionResult:
+        machine = ParallelMachine(
+            self.module,
+            architecture=self.architecture,
+            num_cores=self.num_cores,
+        )
+        result = machine.run(entry, args)
+        result.parallel_executions = list(machine.executions)
+        return result
+
+
+def make_binary(
+    module: Module,
+    num_cores: int | None = None,
+    architecture: ArchitectureDescription | None = None,
+) -> Binary:
+    """``noelle-bin``: finalize a module into a runnable image."""
+    return Binary(module, num_cores, architecture)
+
+
+def helix_pipeline(
+    sources: list[str],
+    training_args: list[object] | None = None,
+    num_cores: int = 12,
+    minimum_hotness: float = 0.001,
+) -> Module:
+    """The Figure 1 compilation flow, end to end.
+
+    whole-IR -> prof-coverage -> meta-prof-embed -> rm-lc-dependences ->
+    meta-clean -> prof-coverage -> meta-prof-embed -> meta-pdg-embed ->
+    arch -> load -> HELIX transformation -> (linker/bin are the caller's
+    final step via :func:`make_binary`).
+    """
+    from ..xforms.helix import HELIX
+    from .whole_ir import whole_ir_from_sources
+
+    module = whole_ir_from_sources(sources)
+    profile = prof_coverage(module, training_args)
+    meta_prof_embed(module, profile)
+    noelle = Noelle(module, profile=profile)
+    remove_loop_carried_dependences(noelle)
+    meta_clean(module)
+    profile = prof_coverage(module, training_args)
+    meta_prof_embed(module, profile)
+    embed_pdg(module)
+    architecture = measure_architecture(num_cores)
+    noelle = load(module, architecture, profile, minimum_hotness)
+    HELIX(noelle, num_cores).run(minimum_hotness)
+    verify_module(module)
+    return module

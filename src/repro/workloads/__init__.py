@@ -1,0 +1,10 @@
+"""repro.workloads — MiniC benchmarks shaped after the paper's suites.
+
+* :mod:`repro.workloads.parsec` — PARSEC 3.0-shaped kernels,
+* :mod:`repro.workloads.mibench` — MiBench-shaped kernels,
+* :mod:`repro.workloads.spec` — SPEC CPU2017-shaped kernels.
+"""
+
+from .registry import Workload, all_workloads, get, suite
+
+__all__ = ["Workload", "all_workloads", "get", "suite"]

@@ -1,0 +1,335 @@
+"""MiBench-shaped workloads.
+
+MiBench is embedded-systems code: bit twiddling, table lookups, string
+scanning, small-integer math.  Several of its kernels carry true
+loop-carried dependences — the paper singles out ``crc`` as a benchmark
+the NOELLE parallelizers cannot speed up (it needs memory-object cloning),
+and that behaviour is reproduced here.
+"""
+
+from .registry import Workload, register
+
+register(Workload(
+    name="crc32",
+    suite="mibench",
+    description="CRC32: the running checksum is a carried shift/xor chain "
+                "— NOT reducible; the paper calls this out as the case "
+                "needing memory cloning (MiBench crc32).",
+    parallel_friendly=False,
+    source="""
+int crc_table[256];
+
+void make_table() {
+  int n;
+  for (n = 0; n < 256; n = n + 1) {
+    int c = n;
+    int k = 0;
+    do {
+      if (c & 1) { c = 551929 ^ ((c >> 1) & 2147483647); }
+      else { c = (c >> 1) & 2147483647; }
+      k = k + 1;
+    } while (k < 8);
+    crc_table[n] = c;
+  }
+}
+
+int main() {
+  int i;
+  int crc = 65535;
+  make_table();
+  for (i = 0; i < 4000; i = i + 1) {
+    int byte = (i * 37 + 11) % 256;
+    crc = crc_table[(crc ^ byte) & 255] ^ ((crc >> 8) & 16777215);
+  }
+  print_int(crc);
+  return crc;
+}
+""",
+))
+
+register(Workload(
+    name="dijkstra",
+    suite="mibench",
+    description="Shortest paths: irregular while-shaped relaxation over an "
+                "adjacency matrix (MiBench dijkstra).",
+    parallel_friendly=False,
+    source="""
+int dist[64];
+int visited[64];
+int adj[4096];
+
+void build(int n) {
+  int i;
+  int j;
+  for (i = 0; i < n; i = i + 1) {
+    for (j = 0; j < n; j = j + 1) {
+      int w = ((i * 31 + j * 17) % 19) + 1;
+      if ((i + j) % 3 == 0) { w = 9999; }
+      adj[i * 64 + j] = w;
+    }
+  }
+}
+
+int main() {
+  int n = 64;
+  int i;
+  int round;
+  build(n);
+  for (i = 0; i < n; i = i + 1) { dist[i] = 9999; visited[i] = 0; }
+  dist[0] = 0;
+  round = 0;
+  while (round < n) {
+    int best = 9999 + 1;
+    int u = 0 - 1;
+    for (i = 0; i < n; i = i + 1) {
+      if (!visited[i] && dist[i] < best) { best = dist[i]; u = i; }
+    }
+    if (u < 0) { break; }
+    visited[u] = 1;
+    for (i = 0; i < n; i = i + 1) {
+      int nd = dist[u] + adj[u * 64 + i];
+      if (nd < dist[i]) { dist[i] = nd; }
+    }
+    round = round + 1;
+  }
+  print_int(dist[63]);
+  return dist[63];
+}
+""",
+))
+
+register(Workload(
+    name="sha",
+    suite="mibench",
+    description="Hash rounds: a sequential chain of mixing operations over "
+                "the running digest (MiBench sha).",
+    parallel_friendly=False,
+    source="""
+int message[2048];
+
+void fill(int n) {
+  int i = 0;
+  do {
+    message[i] = (i * 2654435761) % 65536;
+    i = i + 1;
+  } while (i < n);
+}
+
+int main() {
+  int i;
+  int h0 = 1732584193;
+  int h1 = 271733879;
+  int h2 = 2562383102;
+  fill(2048);
+  for (i = 0; i < 2048; i = i + 1) {
+    int w = message[i];
+    int round;
+    for (round = 0; round < 4; round = round + 1) {
+      int f = (h1 & h2) | ((h1 ^ 2147483647) & h0);
+      int temp = ((h0 << 5) | ((h0 >> 27) & 31)) + f + w + round;
+      h2 = h1;
+      h1 = h0;
+      h0 = temp % 2147483647;
+      w = ((w << 1) | ((w >> 30) & 1)) % 2147483647;
+    }
+  }
+  print_int(h0 ^ h1 ^ h2);
+  return h0 ^ h1;
+}
+""",
+))
+
+register(Workload(
+    name="stringsearch",
+    suite="mibench",
+    description="Substring scanning: the per-position match loop has early "
+                "exits, but the outer sweep over positions is independent "
+                "(MiBench stringsearch).",
+    parallel_friendly=True,
+    source="""
+char text[4096];
+char pattern[8];
+
+void setup() {
+  int i;
+  for (i = 0; i < 4096; i = i + 1) {
+    text[i] = (char)(97 + ((i * 31 + i / 7) % 26));
+  }
+  i = 50;
+  while (i < 4000) {
+    text[i] = (char)107; text[i + 1] = (char)101; text[i + 2] = (char)121;
+    i = i + 97;
+  }
+  pattern[0] = (char)107; pattern[1] = (char)101; pattern[2] = (char)121;
+  pattern[3] = (char)0;
+}
+
+int match_at(int position) {
+  int j = 0;
+  while (pattern[j] != 0) {
+    if (text[position + j] != pattern[j]) { return 0; }
+    j = j + 1;
+  }
+  return 1;
+}
+
+int main() {
+  int i;
+  int found = 0;
+  setup();
+  for (i = 0; i < 4093; i = i + 1) {
+    found = found + match_at(i);
+  }
+  print_int(found);
+  return found;
+}
+""",
+))
+
+register(Workload(
+    name="bitcount",
+    suite="mibench",
+    description="Population counts over a value stream with a total "
+                "reduction — cleanly DOALL (MiBench bitcount).",
+    parallel_friendly=True,
+    source="""
+int popcount(int value) {
+  int count = 0;
+  int v = value;
+  while (v != 0) {
+    count = count + (v & 1);
+    v = (v >> 1) & 2147483647;
+  }
+  return count;
+}
+
+int main() {
+  int i;
+  int total = 0;
+  for (i = 0; i < 2200; i = i + 1) {
+    total = total + popcount(i * 2654435761 % 2147483647);
+  }
+  print_int(total);
+  return total;
+}
+""",
+))
+
+register(Workload(
+    name="susan",
+    suite="mibench",
+    description="Image smoothing: brightness-weighted neighborhood filter "
+                "over a pixel grid (MiBench susan).",
+    parallel_friendly=True,
+    source="""
+int image[2704];
+int output[2704];
+int brightness = 37;
+
+void load_image(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { image[i] = (i * 73 + 19) % 256; }
+}
+
+void smooth(int *src, int *dst, int width, int n) {
+  int i;
+  for (i = width + 1; i < n - width - 1; i = i + 1) {
+    int threshold = brightness * 2 + width / 4;
+    int center = src[i];
+    int acc = center * 4;
+    acc = acc + src[i - 1] + src[i + 1];
+    acc = acc + src[i - width] + src[i + width];
+    if (acc > threshold) { dst[i] = acc / 8; }
+    else { dst[i] = threshold / 8; }
+  }
+}
+
+int main() {
+  int i;
+  int checksum = 0;
+  load_image(2704);
+  smooth(image, output, 52, 2704);
+  for (i = 0; i < 2704; i = i + 1) {
+    checksum = checksum + output[i];
+  }
+  print_int(checksum);
+  return checksum;
+}
+""",
+))
+
+register(Workload(
+    name="basicmath",
+    suite="mibench",
+    description="Cubic-solver style float kernel per input with a checksum "
+                "reduction (MiBench basicmath).",
+    parallel_friendly=True,
+    source="""
+double solve(double a, double b, double c) {
+  double disc = b * b - 4.0 * a * c;
+  if (disc < 0.0) { return 0.0 - disc * 0.001; }
+  return (0.0 - b + sqrt(disc)) / (2.0 * a);
+}
+
+int main() {
+  int i;
+  double total = 0.0;
+  for (i = 1; i < 1400; i = i + 1) {
+    double a = 1.0 + (double)(i % 7);
+    double b = (double)(i % 23) - 11.0;
+    double c = (double)(i % 13) - 6.0;
+    total = total + solve(a, b, c);
+  }
+  print_float(total);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="qsort",
+    suite="mibench",
+    description="Recursive quicksort: call-tree parallelism, not loop "
+                "parallelism (MiBench qsort).",
+    parallel_friendly=False,
+    source="""
+int values[1500];
+
+void fill(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { values[i] = (i * 48271) % 65537; }
+}
+
+void sort_range(int lo, int hi) {
+  int pivot;
+  int i;
+  int store;
+  int tmp;
+  if (lo >= hi) { return; }
+  pivot = values[hi];
+  store = lo;
+  for (i = lo; i < hi; i = i + 1) {
+    if (values[i] < pivot) {
+      tmp = values[i]; values[i] = values[store]; values[store] = tmp;
+      store = store + 1;
+    }
+  }
+  tmp = values[store]; values[store] = values[hi]; values[hi] = tmp;
+  sort_range(lo, store - 1);
+  sort_range(store + 1, hi);
+}
+
+int main() {
+  int i;
+  int checksum = 0;
+  fill(1500);
+  sort_range(0, 1499);
+  for (i = 1; i < 1500; i = i + 1) {
+    if (values[i - 1] > values[i]) { checksum = checksum + 1000000; }
+  }
+  checksum = checksum + values[0] + values[749] + values[1499];
+  print_int(checksum);
+  return checksum;
+}
+""",
+))

@@ -1,0 +1,267 @@
+"""PARSEC 3.0-shaped workloads.
+
+PARSEC programs are data-parallel kernels over arrays of independent work
+items — the shape the paper's Figure 5 shows DOALL/HELIX/DSWP exploiting
+while gcc/icc stay at 1.0x (while-shaped loops, calls in bodies, scalar
+accumulators the vendors' analyses refuse).
+"""
+
+from .registry import Workload, register
+
+register(Workload(
+    name="blackscholes",
+    suite="parsec",
+    description="Option pricing: independent per-option float kernel with a "
+                "checksum reduction (PARSEC blackscholes).",
+    parallel_friendly=True,
+    source="""
+double sptprice[1200];
+double strike[1200];
+double rate[1200];
+double volatility[1200];
+double otime[1200];
+
+double cndf(double x) {
+  double ax = fabs(x);
+  double k = 1.0 / (1.0 + 0.2316419 * ax);
+  double poly = k * (0.319381530 + k * (0.0 - 0.356563782
+             + k * (1.781477937 + k * (0.0 - 1.821255978 + k * 1.330274429))));
+  double value = 1.0 - 0.39894228 * exp(0.0 - 0.5 * x * x) * poly;
+  if (x < 0.0) { value = 1.0 - value; }
+  return value;
+}
+
+double price_option(double s, double k, double r, double v, double t) {
+  double srt = v * sqrt(t);
+  double d1 = (log(s / k) + (r + 0.5 * v * v) * t) / srt;
+  double d2 = d1 - srt;
+  return s * cndf(d1) - k * exp(0.0 - r * t) * cndf(d2);
+}
+
+void setup(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    sptprice[i] = 90.0 + (i % 40);
+    strike[i] = 95.0 + (i % 30);
+    rate[i] = 0.01 + 0.0001 * (i % 17);
+    volatility[i] = 0.2 + 0.001 * (i % 23);
+    otime[i] = 0.5 + 0.01 * (i % 11);
+  }
+}
+
+int main() {
+  int i;
+  double total = 0.0;
+  setup(1200);
+  for (i = 0; i < 1200; i = i + 1) {
+    total = total + price_option(sptprice[i], strike[i], rate[i],
+                                 volatility[i], otime[i]);
+  }
+  print_float(total);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="swaptions",
+    suite="parsec",
+    description="Monte-Carlo swaption pricing: per-path simulation with "
+                "PRVG calls and a sum reduction (PARSEC swaptions).",
+    parallel_friendly=True,
+    source="""
+int path_value(int seed) {
+  int state = seed * 2654435761;
+  int step;
+  int value = 0;
+  for (step = 0; step < 40; step = step + 1) {
+    state = (state * 1103515245 + 12345) % 2147483647;
+    if (state < 0) { state = 0 - state; }
+    value = value + state % 97 - 48;
+  }
+  return value;
+}
+
+int main() {
+  int path;
+  int total = 0;
+  for (path = 0; path < 900; path = path + 1) {
+    total = total + path_value(path + 7);
+  }
+  print_int(total);
+  return total;
+}
+""",
+))
+
+register(Workload(
+    name="streamcluster",
+    suite="parsec",
+    description="Clustering: nearest-center assignment over points, "
+                "distance math plus a cost reduction (PARSEC streamcluster).",
+    parallel_friendly=True,
+    source="""
+double px[600];
+double py[600];
+double cx[8];
+double cy[8];
+
+void setup(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    px[i] = (double)(i % 37) * 1.7;
+    py[i] = (double)(i % 53) * 0.9;
+  }
+  for (i = 0; i < 8; i = i + 1) {
+    cx[i] = (double)(i * 13);
+    cy[i] = (double)(i * 7);
+  }
+}
+
+double assign_cost(double x, double y) {
+  int c;
+  double best = 1000000000.0;
+  for (c = 0; c < 8; c = c + 1) {
+    double dx = x - cx[c];
+    double dy = y - cy[c];
+    double d = dx * dx + dy * dy;
+    if (d < best) { best = d; }
+  }
+  return best;
+}
+
+int main() {
+  int i;
+  double cost = 0.0;
+  setup(600);
+  for (i = 0; i < 600; i = i + 1) {
+    cost = cost + assign_cost(px[i], py[i]);
+  }
+  print_float(cost);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="fluidanimate",
+    suite="parsec",
+    description="Grid stencil: new state from neighbor cells of the old "
+                "state, double-buffered (PARSEC fluidanimate pattern).",
+    parallel_friendly=True,
+    source="""
+double old_grid[2500];
+double new_grid[2500];
+
+void init(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    old_grid[i] = (double)((i * 31) % 101) * 0.01;
+  }
+}
+
+double viscosity = 0.4;
+
+void advance(double *old_cells, double *new_cells, int width, int n) {
+  int i;
+  for (i = width + 1; i < n - width - 1; i = i + 1) {
+    double damp = viscosity * 0.25 + 0.5;
+    double center = old_cells[i];
+    double left = old_cells[i - 1];
+    double right = old_cells[i + 1];
+    double up = old_cells[i - width];
+    double down = old_cells[i + width];
+    new_cells[i] = center * damp + (left + right + up + down) * 0.1;
+  }
+}
+
+int main() {
+  int i;
+  double checksum = 0.0;
+  init(2500);
+  advance(old_grid, new_grid, 50, 2500);
+  for (i = 0; i < 2500; i = i + 1) {
+    checksum = checksum + new_grid[i];
+  }
+  print_float(checksum);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="canneal",
+    suite="parsec",
+    description="Simulated annealing: randomized swap evaluation over a "
+                "netlist with an accepted-cost reduction (PARSEC canneal).",
+    parallel_friendly=True,
+    source="""
+int cost_table[512];
+
+void init(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    cost_table[i] = (i * 199) % 331;
+  }
+}
+
+int evaluate(int a, int b) {
+  int delta = cost_table[a % 512] - cost_table[b % 512];
+  if (delta < 0) { delta = 0 - delta; }
+  return delta % 61;
+}
+
+int main() {
+  int i;
+  int accepted = 0;
+  init(512);
+  for (i = 0; i < 2600; i = i + 1) {
+    int a = (i * 7919) % 512;
+    int b = (i * 104729 + 31) % 512;
+    accepted = accepted + evaluate(a, b);
+  }
+  print_int(accepted);
+  return accepted;
+}
+""",
+))
+
+register(Workload(
+    name="bodytrack",
+    suite="parsec",
+    description="Particle filter: per-particle likelihood weights with "
+                "float math and a normalization reduction (PARSEC bodytrack).",
+    parallel_friendly=True,
+    source="""
+double observation[40];
+
+void observe(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    observation[i] = (double)((i * 17) % 29) * 0.1;
+  }
+}
+
+double likelihood(int particle) {
+  int i;
+  double error = 0.0;
+  for (i = 0; i < 40; i = i + 1) {
+    double predicted = (double)((particle * 13 + i * 7) % 31) * 0.1;
+    double diff = predicted - observation[i];
+    error = error + diff * diff;
+  }
+  return exp(0.0 - error * 0.05);
+}
+
+int main() {
+  int p;
+  double total_weight = 0.0;
+  observe(40);
+  for (p = 0; p < 250; p = p + 1) {
+    total_weight = total_weight + likelihood(p);
+  }
+  print_float(total_weight);
+  return 0;
+}
+""",
+))

@@ -1,0 +1,290 @@
+"""SPEC CPU2017-shaped workloads.
+
+SPEC programs are large, irregular, and memory-bound; the paper reports
+only 1–5% speedups on them without speculation (Section 4.4).  These
+kernels reproduce the blockers: pointer chasing through heap structures,
+data-dependent branches, and loops whose hot work hides behind carried
+state — with small DOALL-able side loops that yield the few percent.
+"""
+
+from .registry import Workload, register
+
+register(Workload(
+    name="mcf",
+    suite="spec",
+    description="Network simplex flavor: pointer chasing over heap-allocated "
+                "arc lists; the hot loop is inherently serial (SPEC 505.mcf).",
+    parallel_friendly=False,
+    source="""
+struct Arc { int cost; int next; };
+
+int arc_cost[3000];
+int arc_next[3000];
+
+void build(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    arc_cost[i] = (i * 97) % 211 - 100;
+    arc_next[i] = (i * 61 + 13) % n;
+  }
+}
+
+int main() {
+  int walk = 0;
+  int node = 0;
+  int total = 0;
+  int i;
+  build(3000);
+  while (walk < 30000) {
+    total = total + arc_cost[node];
+    node = arc_next[node];
+    walk = walk + 1;
+  }
+  for (i = 0; i < 3000; i = i + 1) {
+    total = total + arc_cost[i] % 7;
+  }
+  print_int(total);
+  return total;
+}
+""",
+))
+
+register(Workload(
+    name="lbm",
+    suite="spec",
+    description="Lattice-Boltzmann stencil sweep over a double-buffered "
+                "grid (SPEC 519.lbm).",
+    parallel_friendly=True,
+    source="""
+double src_grid[3000];
+double dst_grid[3000];
+
+void init(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    src_grid[i] = 1.0 + (double)((i * 13) % 7) * 0.1;
+  }
+}
+
+void sweep(double *src, double *dst, int n) {
+  int i;
+  for (i = 1; i < n - 1; i = i + 1) {
+    double rho = src[i - 1] * 0.25 + src[i] * 0.5 + src[i + 1] * 0.25;
+    dst[i] = rho * 0.98 + 0.02;
+  }
+}
+
+int main() {
+  int i;
+  double mass = 0.0;
+  init(3000);
+  sweep(src_grid, dst_grid, 3000);
+  for (i = 0; i < 3000; i = i + 1) {
+    mass = mass + dst_grid[i];
+  }
+  print_float(mass);
+  return 0;
+}
+""",
+))
+
+register(Workload(
+    name="imagick",
+    suite="spec",
+    description="Per-pixel color transform with saturation — wide DOALL "
+                "loop over pixel channels (SPEC 538.imagick).",
+    parallel_friendly=True,
+    source="""
+int pixels[4200];
+
+void load(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { pixels[i] = (i * 139 + 7) % 256; }
+}
+
+int transform(int p) {
+  int v = (p * 118 + 1400) / 100;
+  if (v > 255) { v = 255; }
+  if (v < 0) { v = 0; }
+  return v;
+}
+
+int main() {
+  int i;
+  int histogram_sum = 0;
+  load(4200);
+  for (i = 0; i < 4200; i = i + 1) {
+    histogram_sum = histogram_sum + transform(pixels[i]);
+  }
+  print_int(histogram_sum);
+  return histogram_sum;
+}
+""",
+))
+
+register(Workload(
+    name="x264",
+    suite="spec",
+    description="Sum-of-absolute-differences block matching: the distance "
+                "loops are DOALL, motion-vector selection is serial "
+                "(SPEC 525.x264).",
+    parallel_friendly=True,
+    source="""
+int frame_a[3600];
+int frame_b[3600];
+
+void load_frames(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    frame_a[i] = (i * 37) % 256;
+    frame_b[i] = (i * 37 + i / 19) % 256;
+  }
+}
+
+int lambda = 4;
+
+int block_sad(int *a, int *b, int n) {
+  int i;
+  int sad = 0;
+  for (i = 0; i < n; i = i + 1) {
+    int weight = lambda * 3 + 2;
+    int d = a[i] - b[i];
+    if (d < 0) { d = 0 - d; }
+    sad = sad + d * weight / 16;
+  }
+  return sad;
+}
+
+int main() {
+  load_frames(3600);
+  int sad = block_sad(frame_a, frame_b, 3600);
+  print_int(sad);
+  return sad;
+}
+""",
+))
+
+register(Workload(
+    name="deepsjeng",
+    suite="spec",
+    description="Game-tree evaluation: data-dependent branching over board "
+                "features; the minimax chain is serial (SPEC 531.deepsjeng).",
+    parallel_friendly=False,
+    source="""
+int board[144];
+
+void setup() {
+  int i;
+  for (i = 0; i < 144; i = i + 1) { board[i] = (i * 7 + 3) % 13 - 6; }
+}
+
+int evaluate(int depth, int alpha, int position) {
+  int score;
+  int move;
+  if (depth == 0) {
+    return board[position % 144] * 3 + position % 5;
+  }
+  score = 0 - 30000;
+  for (move = 0; move < 6; move = move + 1) {
+    int child = (position * 6 + move + 1) % 997;
+    int value = 0 - evaluate(depth - 1, 0 - alpha, child);
+    if (value > score) { score = value; }
+    if (score > alpha) { alpha = score; }
+  }
+  return score;
+}
+
+int main() {
+  setup();
+  int result = evaluate(5, 0 - 30000, 1);
+  print_int(result);
+  return result;
+}
+""",
+))
+
+register(Workload(
+    name="xz",
+    suite="spec",
+    description="Match finding: hash-chain probes with carried best-match "
+                "state (SPEC 557.xz).",
+    parallel_friendly=False,
+    source="""
+int data[3000];
+int hash_head[256];
+
+void setup(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { data[i] = (i * 131 + 17) % 251; }
+  for (i = 0; i < 256; i = i + 1) { hash_head[i] = 0 - 1; }
+}
+
+int main() {
+  int i;
+  int matches = 0;
+  int best_len = 0;
+  setup(3000);
+  for (i = 0; i < 2996; i = i + 1) {
+    int h = (data[i] * 33 + data[i + 1]) % 256;
+    int prev = hash_head[h];
+    if (prev >= 0) {
+      int len = 0;
+      while (len < 4 && data[prev + len] == data[i + len]) {
+        len = len + 1;
+      }
+      if (len > best_len) { best_len = len; }
+      if (len >= 2) { matches = matches + 1; }
+    }
+    hash_head[h] = i;
+  }
+  print_int(matches + best_len);
+  return matches;
+}
+""",
+))
+
+register(Workload(
+    name="nab",
+    suite="spec",
+    description="Molecular-dynamics nonbonded forces: pairwise distance "
+                "kernel with an energy reduction (SPEC 544.nab).",
+    parallel_friendly=True,
+    source="""
+double posx[160];
+double posy[160];
+double posz[160];
+
+void place(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    posx[i] = (double)((i * 17) % 43) * 0.3;
+    posy[i] = (double)((i * 29) % 37) * 0.4;
+    posz[i] = (double)((i * 41) % 31) * 0.5;
+  }
+}
+
+double pair_energy(int i, int j) {
+  double dx = posx[i] - posx[j];
+  double dy = posy[i] - posy[j];
+  double dz = posz[i] - posz[j];
+  double r2 = dx * dx + dy * dy + dz * dz + 0.01;
+  return 1.0 / (r2 * r2 * r2);
+}
+
+int main() {
+  int i;
+  double energy = 0.0;
+  place(160);
+  for (i = 0; i < 160; i = i + 1) {
+    int j;
+    double local = 0.0;
+    for (j = 0; j < 160; j = j + 1) {
+      if (j != i) { local = local + pair_energy(i, j); }
+    }
+    energy = energy + local;
+  }
+  print_float(energy);
+  return 0;
+}
+""",
+))

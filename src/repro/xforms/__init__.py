@@ -1,0 +1,47 @@
+"""repro.xforms — the ten custom tools of the paper (Table 3).
+
+============================  =====================================
+Custom tool (paper name)      Module
+============================  =====================================
+DOALL                         :mod:`repro.xforms.doall`
+HELIX                         :mod:`repro.xforms.helix`
+DSWP                          :mod:`repro.xforms.dswp`
+Perspective (PERS)            :mod:`repro.xforms.perspective`
+Loop Invariant Code Motion    :mod:`repro.xforms.licm`
+Dead Function Elim. (DEAD)    :mod:`repro.xforms.dead`
+Time Squeezer (TIME)          :mod:`repro.xforms.timesqueezer`
+Compiler-based timing (COOS)  :mod:`repro.xforms.coos`
+PRVJeeves (PRVJ)              :mod:`repro.xforms.prvjeeves`
+CARAT                         :mod:`repro.xforms.carat`
+============================  =====================================
+"""
+
+from .carat import CARAT, CARATStats
+from .coos import CompilerTiming, timing_accuracy
+from .dead import DeadFunctionEliminator
+from .doall import DOALL
+from .dswp import DSWP
+from .helix import HELIX
+from .licm import LICM
+from .parallelizer_common import MAX_CORES, ParallelizationError
+from .perspective import Perspective
+from .prvjeeves import PRVJeeves
+from .timesqueezer import TimeSqueezer, TimeSqueezerStats
+
+__all__ = [
+    "CARAT",
+    "CARATStats",
+    "CompilerTiming",
+    "timing_accuracy",
+    "DeadFunctionEliminator",
+    "DOALL",
+    "DSWP",
+    "HELIX",
+    "LICM",
+    "MAX_CORES",
+    "ParallelizationError",
+    "Perspective",
+    "PRVJeeves",
+    "TimeSqueezer",
+    "TimeSqueezerStats",
+]

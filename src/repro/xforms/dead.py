@@ -1,0 +1,75 @@
+"""Dead Function Elimination on NOELLE (Section 3, "DEAD").
+
+Removes functions that can never run, shrinking the binary (Section 4.5
+reports 6.3% average size reduction beyond ``clang -Oz``).  The entire
+tool is a handful of lines because NOELLE's call graph is *complete*:
+indirect calls are resolved through points-to, so the absence of an edge
+really means "cannot be called" — the property LLVM's own call graph
+cannot offer (Table 3: 7512 vs 61 LoC).
+"""
+
+from __future__ import annotations
+
+from ..core.noelle import Noelle
+from ..ir.module import Function
+
+
+class DeadFunctionEliminator:
+    """The DEAD custom tool."""
+
+    name = "dead"
+
+    def __init__(self, noelle: Noelle, roots: list[str] | None = None):
+        self.noelle = noelle
+        self.root_names = roots or ["main"]
+
+    def run(self) -> list[str]:
+        """Delete unreachable functions; returns their names."""
+        module = self.noelle.module
+        cg = self.noelle.call_graph()
+        if not cg.is_complete():
+            return []  # an unresolved call could target anything: bail out
+        roots = [
+            module.functions[name]
+            for name in self.root_names
+            if name in module.functions
+        ]
+        # ISL: whole disconnected islands of the call graph that contain no
+        # root are dead as a group — including mutually recursive clusters.
+        root_ids = {id(r) for r in roots}
+        live_island_members: set[int] = set()
+        for island in cg.islands():
+            if any(id(fn) in root_ids for fn in island):
+                live_island_members.update(id(fn) for fn in island)
+        # Within the live islands, functions stored into memory (tables,
+        # globals) may be reached via data flow the call graph summarizes;
+        # points-to already resolved those into edges, so reachability over
+        # CG edges is sound.
+        reachable = cg.reachable_from(roots) & live_island_members
+        removable = [
+            fn
+            for fn in module.defined_functions()
+            if id(fn) not in reachable
+        ]
+        removed = []
+        for fn in removable:
+            if fn.is_used():
+                # Referenced by a live global initializer: keep it.
+                if self._used_by_live_code(fn, reachable):
+                    continue
+            removed.append(fn.name)
+            module.remove_function(fn.name)
+        return removed
+
+    def _used_by_live_code(self, fn: Function, reachable: set[int]) -> bool:
+        from ..ir.instructions import Instruction
+
+        for use in fn.uses:
+            user = use.user
+            if isinstance(user, Instruction):
+                parent_fn = user.function() if user.parent else None
+                if parent_fn is not None and id(parent_fn) in reachable:
+                    return True
+            else:
+                return True  # a global initializer keeps it alive
+        return False

@@ -1,0 +1,415 @@
+"""The DSWP parallelizing custom tool (Section 3, "DSWP").
+
+Decoupled Software Pipelining distributes the *SCCs* of a loop across
+cores: every dynamic instance of a given SCC runs on the same core, and
+values crossing stage boundaries flow through unidirectional queues
+[Ottoni et al., MICRO'05].  Where HELIX slices iterations, DSWP slices the
+dependence graph.
+
+Construction (all from NOELLE abstractions):
+
+* the aSCCDAG's topological order gives the pipeline orientation;
+* SCCs connected by memory dependences are co-located (queues forward
+  registers, not memory);
+* the *control skeleton* — terminators, the governing IV, and everything
+  the branches need — is replicated in every stage so all stages make
+  identical control decisions;
+* each remaining SCC group is assigned to a stage balancing cycle load;
+* cross-stage register dependences become ``queue_push``/``queue_pop``
+  pairs, one queue per (producer, consumer-stage).
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..core.loop import Loop
+from ..core.noelle import Noelle
+from ..core.sccdag import SCC
+from ..ir.intrinsics import declare_intrinsic
+from .parallelizer_common import (
+    invocation_is_profitable,
+    loop_is_stale,
+    LoopBoundary,
+    ParallelizationError,
+    TaskSkeleton,
+    build_environment,
+    clone_loop_into_task,
+    replace_loop_with_dispatch,
+)
+
+
+class DSWP:
+    """The DSWP technique."""
+
+    name = "dswp"
+
+    def __init__(self, noelle: Noelle, num_stages: int = 4):
+        self.noelle = noelle
+        self.num_stages = num_stages
+
+    # -- selection ---------------------------------------------------------------------
+    def can_parallelize(self, loop: Loop) -> bool:
+        try:
+            self._plan(loop)
+            return True
+        except ParallelizationError:
+            return False
+
+    def _plan(self, loop: Loop):
+        if len(loop.structure.exiting_blocks()) != 1:
+            raise ParallelizationError("loop has multiple exits")
+        boundary = LoopBoundary(loop)
+        if not boundary.only_reduction_live_outs():
+            raise ParallelizationError("loop has non-reduction live-outs")
+        sccdag = loop.sccdag
+        skeleton = self._control_skeleton(loop)
+        for inst in skeleton:
+            if inst.touches_memory():
+                raise ParallelizationError(
+                    "control skeleton touches memory; stages cannot replicate it"
+                )
+        from ..core.partitioner import SCCDAGPartitioner
+
+        arch = self.noelle.architecture()
+        partitioner = SCCDAGPartitioner(
+            loop.sccdag, exclude={id(i) for i in skeleton}
+        )
+        if len(partitioner.colocated_groups()) < 2:
+            raise ParallelizationError("fewer than two pipeline stages")
+        # The stage count is bounded by the machine (AR): a pipeline deeper
+        # than the physical cores would just multiplex.
+        stages = partitioner.partition(
+            min(self.num_stages, arch.num_physical_cores)
+        )
+        return boundary, skeleton, stages
+
+    def _control_skeleton(self, loop: Loop) -> list[ir.Instruction]:
+        """Terminators plus everything they transitively need in-loop."""
+        natural = loop.natural_loop
+        needed: dict[int, ir.Instruction] = {}
+        worklist: list[ir.Instruction] = []
+        for block in natural.blocks:
+            term = block.terminator
+            if term is not None:
+                needed[id(term)] = term
+                worklist.append(term)
+        while worklist:
+            inst = worklist.pop()
+            for operand in inst.operands:
+                if (
+                    isinstance(operand, ir.Instruction)
+                    and natural.contains(operand)
+                    and id(operand) not in needed
+                ):
+                    needed[id(operand)] = operand
+                    worklist.append(operand)
+        # The governing IV's whole SCC rides along (it feeds the exit test).
+        iv = loop.governing_iv()
+        if iv is not None:
+            for inst in [iv.phi, *iv.update_instructions()]:
+                if id(inst) not in needed and isinstance(inst, ir.Instruction):
+                    needed[id(inst)] = inst
+        # Header phis must exist in every stage (they carry the iteration
+        # state each stage re-computes).
+        for phi in natural.header.phis():
+            scc = loop.sccdag.scc_of(phi)
+            if scc is not None and scc.is_independent() and scc.is_induction:
+                for inst in scc.instructions:
+                    needed.setdefault(id(inst), inst)
+        return list(needed.values())
+
+    # -- transformation -----------------------------------------------------------------
+    def parallelize(self, loop: Loop) -> ir.Call:
+        boundary, skeleton, stages = self._plan(loop)
+        fn = loop.structure.function
+        env = build_environment(self.noelle, boundary, "dswp.env")
+        module = self.noelle.module
+        stage_fns: list[ir.Function] = []
+        queue_counter = [0]
+        for stage_index in range(len(stages)):
+            stage_fn = self._build_stage(
+                boundary, env, skeleton, stages, stage_index, queue_counter
+            )
+            stage_fns.append(stage_fn)
+        selector = self._build_selector(env, stage_fns, fn.name)
+        from ..core.task import Task
+
+        task = Task(selector, env)
+        call = replace_loop_with_dispatch(
+            self.noelle, boundary, env, task, "noelle_dispatch_dswp",
+            default_cores=len(stage_fns),
+        )
+        # DSWP's core count is its stage count, not the machine knob: patch
+        # the dispatch to pass the constant stage count.
+        call.set_operand(3, ir.const_int(len(stage_fns)))
+        ir.verify_function(fn)
+        return call
+
+    def _build_stage(
+        self,
+        boundary: LoopBoundary,
+        env,
+        skeleton: list[ir.Instruction],
+        stages: list[list[ir.Instruction]],
+        stage_index: int,
+        queue_counter: list[int],
+    ) -> ir.Function:
+        natural = boundary.natural
+        fn_name = boundary.loop.structure.function.name
+        task_skeleton = clone_loop_into_task(
+            self.noelle, boundary, env,
+            f"{fn_name}.dswp.stage{stage_index}",
+        )
+        task_fn = task_skeleton.task.function
+        skeleton_ids = {id(i) for i in skeleton}
+        mine = {id(i) for i in stages[stage_index]}
+        stage_of: dict[int, int] = {}
+        for index, stage in enumerate(stages):
+            for inst in stage:
+                stage_of[id(inst)] = index
+
+        push_fn = declare_intrinsic(self.noelle.module, "queue_push_i64")
+        pop_fn = declare_intrinsic(self.noelle.module, "queue_pop_i64")
+        push_f64 = declare_intrinsic(self.noelle.module, "queue_push_f64")
+        pop_f64 = declare_intrinsic(self.noelle.module, "queue_pop_f64")
+
+        # Queue ids must be deterministic across stages: derive from the
+        # producer's position and the consumer stage.
+        order_of: dict[int, int] = {}
+        for position, inst in enumerate(natural.instructions()):
+            order_of[id(inst)] = position
+
+        def queue_id(producer: ir.Instruction, consumer_stage: int) -> int:
+            return order_of[id(producer)] * 64 + consumer_stage
+
+        # Pass 1: pushes for my values consumed elsewhere.
+        for inst in natural.instructions():
+            if id(inst) not in mine:
+                continue
+            clone = task_skeleton.clone_of(inst)
+            consumer_stages = set()
+            for user in inst.users():
+                if isinstance(user, ir.Instruction) and natural.contains(user):
+                    if id(user) in skeleton_ids:
+                        continue  # the skeleton is replicated, never fed
+                    user_stage = stage_of.get(id(user))
+                    if user_stage is not None and user_stage != stage_index:
+                        consumer_stages.add(user_stage)
+            for consumer_stage in sorted(consumer_stages):
+                self._insert_push(
+                    clone, queue_id(inst, consumer_stage), push_fn, push_f64
+                )
+
+        # Pass 2: replace other stages' values I consume with pops; erase
+        # the rest of their instructions.  Only *kept* users (skeleton or
+        # this stage's instructions) count as consumers — clones of other
+        # stages' instructions are about to be erased.
+        kept_clone_ids: set[int] = set()
+        for inst in natural.instructions():
+            if id(inst) in skeleton_ids or id(inst) in mine:
+                clone = task_skeleton.clone_of(inst)
+                if isinstance(clone, ir.Instruction):
+                    kept_clone_ids.add(id(clone))
+        to_erase: list[ir.Instruction] = []
+        for inst in natural.instructions():
+            owner = stage_of.get(id(inst))
+            if owner is None or owner == stage_index:
+                continue
+            clone = task_skeleton.clone_of(inst)
+            assert isinstance(clone, ir.Instruction)
+            consumers_here = [
+                u
+                for u in clone.users()
+                if isinstance(u, ir.Instruction) and id(u) in kept_clone_ids
+            ]
+            if consumers_here and not clone.type.is_void():
+                pop = self._insert_pop(
+                    clone, queue_id(inst, stage_index), pop_fn, pop_f64
+                )
+                for user in consumers_here:
+                    for index, operand in enumerate(user.operands):
+                        if operand is clone:
+                            user.set_operand(index, pop)
+            to_erase.append(clone)
+        for clone in to_erase:
+            if clone.parent is not None:
+                if isinstance(clone, ir.Phi):
+                    clone.replace_all_uses_with(ir.UndefValue(clone.type))
+                clone.erase_from_parent()
+
+        # Reductions owned by this stage store their partials; others just ret.
+        self._finish_stage(task_skeleton, boundary, env, stage_of, stage_index)
+        ir.verify_function(task_fn)
+        return task_fn
+
+    def _insert_push(self, producer: ir.Instruction, qid: int, push_i64, push_f64):
+        block = producer.parent
+        assert block is not None
+        index = block.instructions.index(producer) + 1
+        value: ir.Value = producer
+        inserts: list[ir.Instruction] = []
+        if producer.type.is_float():
+            call = ir.Call(push_f64, [ir.const_int(qid), value])
+        else:
+            if producer.type.is_pointer():
+                cast = ir.Cast("ptrtoint", value, ir.I64, "q.cast")
+                inserts.append(cast)
+                value = cast
+            elif producer.type != ir.I64:
+                cast = ir.Cast("zext", value, ir.I64, "q.cast")
+                inserts.append(cast)
+                value = cast
+            call = ir.Call(push_i64, [ir.const_int(qid), value])
+        inserts.append(call)
+        fn = block.parent
+        for offset, inst in enumerate(inserts):
+            inst.parent = block
+            block.instructions.insert(index + offset, inst)
+            if fn is not None:
+                fn.assign_name(inst)
+
+    def _insert_pop(self, placeholder: ir.Instruction, qid: int, pop_i64, pop_f64):
+        """Materialize a pop at the placeholder's position; returns the value."""
+        block = placeholder.parent
+        assert block is not None
+        first_non_phi = block.first_non_phi()
+        anchor = (
+            first_non_phi
+            if isinstance(placeholder, ir.Phi) and first_non_phi is not None
+            else placeholder
+        )
+        index = block.instructions.index(anchor)
+        fn = block.parent
+        inserts: list[ir.Instruction] = []
+        if placeholder.type.is_float():
+            pop = ir.Call(pop_f64, [ir.const_int(qid)], "q.pop")
+            inserts.append(pop)
+            result: ir.Instruction = pop
+        else:
+            pop = ir.Call(pop_i64, [ir.const_int(qid)], "q.pop")
+            inserts.append(pop)
+            result = pop
+            if placeholder.type.is_pointer():
+                cast = ir.Cast("inttoptr", pop, placeholder.type, "q.val")
+                inserts.append(cast)
+                result = cast
+            elif placeholder.type != ir.I64 and placeholder.type.is_integer():
+                cast = ir.Cast("trunc", pop, placeholder.type, "q.val")
+                inserts.append(cast)
+                result = cast
+        for offset, inst in enumerate(inserts):
+            inst.parent = block
+            block.instructions.insert(index + offset, inst)
+            if fn is not None:
+                fn.assign_name(inst)
+        return result
+
+    def _finish_stage(
+        self, task_skeleton: TaskSkeleton, boundary: LoopBoundary, env,
+        stage_of: dict[int, int], stage_index: int,
+    ) -> None:
+        task_fn = task_skeleton.task.function
+        env_ptr, _, _ = task_fn.args
+        builder = ir.IRBuilder(task_skeleton.exit_block)
+        for position, reduction in enumerate(boundary.reductions):
+            if stage_of.get(id(reduction.phi)) != stage_index:
+                continue
+            cloned_phi = task_skeleton.clone_of(reduction.phi)
+            if not isinstance(cloned_phi, ir.Phi) or cloned_phi.parent is None:
+                continue
+            for index in range(1, len(cloned_phi.operands), 2):
+                if cloned_phi.operands[index] is task_skeleton.entry:
+                    cloned_phi.set_operand(
+                        index - 1, reduction.identity_constant()
+                    )
+            field_index = len(boundary.live_ins) + position
+            slot = builder.elem_ptr(
+                env_ptr,
+                [ir.const_int(0), ir.const_int(field_index), ir.const_int(0)],
+                f"red.slot{position}",
+            )
+            builder.store(cloned_phi, slot)
+        builder.ret()
+
+    def _build_selector(
+        self, env, stage_fns: list[ir.Function], name_hint: str
+    ) -> ir.Function:
+        """One entry point that switches on the stage id."""
+        from ..core.task import make_task_function
+
+        module = self.noelle.module
+        selector = make_task_function(module, env, f"{name_hint}.dswp.task")
+        selector.metadata["noelle.task"] = True
+        env_ptr, stage_id, num_stages = selector.args
+        entry = selector.add_block("entry")
+        done = selector.add_block("done")
+        builder = ir.IRBuilder(done)
+        builder.ret()
+        blocks = []
+        for index, stage_fn in enumerate(stage_fns):
+            block = selector.add_block(f"stage{index}")
+            builder.position_at_end(block)
+            builder.call(stage_fn, [env_ptr, stage_id, num_stages])
+            builder.br(done)
+            blocks.append(block)
+        builder.position_at_end(entry)
+        cases = [
+            (ir.ConstantInt(ir.I64, index), block)
+            for index, block in enumerate(blocks)
+        ]
+        builder.switch(stage_id, done, cases)
+        ir.verify_function(selector)
+        return selector
+
+    # -- whole-program driver -------------------------------------------------------------
+    def run(
+        self,
+        minimum_hotness: float = 0.0,
+        max_rounds: int = 10,
+        only_loop_id: int | None = None,
+    ) -> int:
+        total = 0
+        for _ in range(max_rounds):
+            changed = self._run_round(minimum_hotness, only_loop_id)
+            total += changed
+            if not changed:
+                break
+            self.noelle.invalidate()
+            if only_loop_id is not None:
+                break  # surgical mode transforms at most one loop
+        return total
+
+    def _run_round(
+        self, minimum_hotness: float, only_loop_id: int | None = None
+    ) -> int:
+        parallelized = 0
+        transformed: set[int] = set()
+        for loop in self.noelle.loops():
+            if loop_is_stale(loop):
+                continue  # erased by an earlier transformation this round
+            if only_loop_id is not None and loop.structure.loop_id != only_loop_id:
+                continue  # surgical testing: only the requested loop
+            fn = loop.structure.function
+            if id(fn) in transformed or fn.metadata.get("noelle.task"):
+                continue
+            if any(
+                phi.metadata.get("noelle.generated")
+                for phi in loop.structure.header.phis()
+            ):
+                continue
+            profile = self.noelle.profile()
+            if profile is not None:
+                if profile.loop_hotness(loop.natural_loop) < minimum_hotness:
+                    continue
+            from ..runtime.machine import FORK_OVERHEAD
+
+            if not invocation_is_profitable(loop, profile, FORK_OVERHEAD):
+                continue
+            if loop.structure.depth() != 1:
+                continue
+            if not self.can_parallelize(loop):
+                continue
+            self.parallelize(loop)
+            transformed.add(id(fn))
+            parallelized += 1
+        return parallelized

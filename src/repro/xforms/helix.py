@@ -1,0 +1,290 @@
+"""The HELIX parallelizing custom tool (Section 3, "HELIX").
+
+HELIX distributes loop *iterations* across cores even when the loop has
+loop-carried dependences: the instructions of each sequential SCC are
+wrapped into a *sequential segment* whose dynamic instances execute in
+iteration order across the cores (enforced with wait/signal), while
+everything else overlaps.
+
+The NOELLE abstractions used mirror the paper's Table 4 row: PRO+FR+L for
+loop selection, PDG+ENV for the boundary, LB+T for the parallel body,
+aSCCDAG+INV+IV+RD to identify what must serialize, SCD to shrink the
+sequential segments, IVS for iteration chunking, and AR for the signal
+latency in the schedule.
+"""
+
+from __future__ import annotations
+
+from .. import ir
+from ..core.loop import Loop
+from ..core.noelle import Noelle
+from ..core.sccdag import SCC
+from ..ir.intrinsics import declare_intrinsic
+from .doall import CHUNKABLE_PREDICATES
+from .parallelizer_common import (
+    LoopBoundary,
+    ParallelizationError,
+    TaskSkeleton,
+    build_environment,
+    chunk_cloned_loop,
+    clone_loop_into_task,
+    finish_task_with_reductions,
+    invocation_is_profitable,
+    loop_is_stale,
+    replace_loop_with_dispatch,
+)
+
+
+class HELIX:
+    """The HELIX technique."""
+
+    name = "helix"
+
+    def __init__(self, noelle: Noelle, default_cores: int = 12):
+        self.noelle = noelle
+        self.default_cores = default_cores
+
+    # -- selection ---------------------------------------------------------------------
+    def can_parallelize(self, loop: Loop) -> bool:
+        try:
+            self._check(loop)
+            return True
+        except ParallelizationError:
+            return False
+
+    def _check(self, loop: Loop) -> LoopBoundary:
+        iv = loop.governing_iv()
+        if iv is None:
+            raise ParallelizationError("no governing induction variable")
+        if iv.constant_step() is None:
+            raise ParallelizationError("governing IV has a non-constant step")
+        if iv.exit_compare is None or iv.exit_compare.predicate not in (
+            CHUNKABLE_PREDICATES
+        ):
+            raise ParallelizationError("exit condition is not chunkable")
+        if len(loop.structure.exiting_blocks()) != 1:
+            raise ParallelizationError("loop has multiple exits")
+        # The governing IV itself must not be trapped in a sequential SCC —
+        # otherwise iterations cannot be precomputed per core.
+        iv_scc = loop.sccdag.scc_of(iv.phi)
+        if iv_scc is not None and iv_scc.is_sequential():
+            raise ParallelizationError("governing IV is inside a sequential SCC")
+        boundary = LoopBoundary(loop)
+        if not boundary.only_reduction_live_outs():
+            raise ParallelizationError("loop has non-reduction live-outs")
+        self._check_segment_profitability(loop)
+        return boundary
+
+    def _check_segment_profitability(self, loop: Loop) -> None:
+        """AR: sequential segments pay a core-to-core signal per iteration.
+
+        When the whole loop body is barely bigger than one signal latency,
+        the cross-core wait chain dominates and the parallelization loses;
+        the architecture description supplies the latency.
+        """
+        from ..interp.interp import INSTRUCTION_COSTS
+
+        sequential = loop.sccdag.sequential_sccs()
+        if not sequential:
+            return
+        latency = self.noelle.architecture().default_latency
+        body_cost = sum(
+            INSTRUCTION_COSTS.get(i.opcode, 1) for i in loop.structure.instructions()
+        )
+        segment_cost = sum(
+            INSTRUCTION_COSTS.get(i.opcode, 1)
+            for scc in sequential
+            for i in scc.instructions
+        )
+        parallel_cost = body_cost - segment_cost
+        # The critical path per iteration is segment work plus one signal;
+        # the overlappable work must at least cover it, or the cores just
+        # queue behind each other.
+        if parallel_cost < segment_cost + latency:
+            raise ParallelizationError(
+                "sequential segments dominate the iteration"
+            )
+
+    # -- transformation -----------------------------------------------------------------
+    def parallelize(self, loop: Loop) -> ir.Call:
+        boundary = self._check(loop)
+        fn = loop.structure.function
+        iv = loop.governing_iv()
+        # Shrink the header first: fewer instructions on the critical path
+        # shortens every sequential segment anchored there (SCD).
+        self.noelle.loop_scheduler(fn).shrink_header(loop.natural_loop)
+        loop.invalidate()
+        boundary = self._check(loop)
+        iv = loop.governing_iv()
+        sequential_sccs = loop.sccdag.sequential_sccs()
+        env = build_environment(self.noelle, boundary, "helix.env")
+        skeleton = clone_loop_into_task(
+            self.noelle, boundary, env, f"{fn.name}.helix.task"
+        )
+        chunk_cloned_loop(skeleton)
+        self._mark_sequential_segments(skeleton, sequential_sccs)
+        self._mark_iteration_boundaries(skeleton, boundary)
+        finish_task_with_reductions(self.noelle, skeleton, boundary, env)
+        ir.verify_function(skeleton.task.function)
+        call = replace_loop_with_dispatch(
+            self.noelle, boundary, env, skeleton.task,
+            "noelle_dispatch_helix", self.default_cores,
+        )
+        ir.verify_function(fn)
+        return call
+
+    # -- sequential segments ---------------------------------------------------------
+    def _mark_sequential_segments(
+        self, skeleton: TaskSkeleton, sequential_sccs: list[SCC]
+    ) -> None:
+        """Bracket each sequential SCC's per-block spans with seq markers.
+
+        The markers drive both the runtime's ordering (wait/signal in a
+        real machine, cycle attribution in the simulator) and let the
+        schedule replay know what must serialize across cores.
+        """
+        module = self.noelle.module
+        begin = declare_intrinsic(module, "helix_seq_begin")
+        end = declare_intrinsic(module, "helix_seq_end")
+        # DFE: liveness over the task decides how far each per-block span
+        # extends — when a segment value is consumed later in the same
+        # block, the span stays open until its last local consumer so the
+        # cross-core signal is not sent while dependents still compute.
+        from ..core.dataflow import liveness
+
+        task_liveness = liveness(skeleton.task.function)
+        for segment_id, scc in enumerate(sequential_sccs):
+            cloned = [
+                skeleton.clone_of(inst)
+                for inst in scc.instructions
+                if isinstance(skeleton.clone_of(inst), ir.Instruction)
+            ]
+            by_block: dict[int, list[ir.Instruction]] = {}
+            for inst in cloned:
+                if inst.parent is not None:
+                    by_block.setdefault(id(inst.parent), []).append(inst)
+            for members in by_block.values():
+                block = members[0].parent
+                # Phis execute at block entry for free (cost 0), and
+                # markers must never sit between them: only the non-phi
+                # members span measurable time.
+                timed = [m for m in members if not isinstance(m, ir.Phi)]
+                if not timed:
+                    continue
+                ordered = sorted(timed, key=lambda i: block.instructions.index(i))
+                first_inst: ir.Instruction = ordered[0]
+                last_inst: ir.Instruction = self._span_end(
+                    block, ordered, task_liveness
+                )
+                if isinstance(last_inst, ir.Phi):
+                    last_inst = ordered[-1]
+                seg_const = ir.const_int(segment_id)
+                begin_call = ir.Call(begin, [seg_const])
+                begin_call.parent = block
+                block.instructions.insert(
+                    block.instructions.index(first_inst), begin_call
+                )
+                end_call = ir.Call(end, [seg_const])
+                end_call.parent = block
+                if isinstance(last_inst, ir.TerminatorInst):
+                    block.instructions.insert(
+                        block.instructions.index(last_inst), end_call
+                    )
+                else:
+                    block.instructions.insert(
+                        block.instructions.index(last_inst) + 1, end_call
+                    )
+
+    def _span_end(self, block, members, task_liveness) -> ir.Instruction:
+        """Last instruction the segment span must cover in this block.
+
+        Starts at the last SCC member; while any member value is consumed
+        later in the block (liveness says it flows forward), the span
+        extends to that consumer.
+        """
+        member_ids = {id(m) for m in members}
+        last = members[-1]
+        last_index = block.instructions.index(last)
+        for index in range(last_index + 1, len(block.instructions)):
+            candidate = block.instructions[index]
+            if isinstance(candidate, ir.TerminatorInst):
+                break
+            uses_member = any(
+                isinstance(op, ir.Instruction) and id(op) in member_ids
+                for op in candidate.operands
+            )
+            if uses_member:
+                # Only worth extending when the value stays live here.
+                live = task_liveness.in_of(candidate)
+                if any(mid in live for mid in member_ids):
+                    last = candidate
+                    member_ids.add(id(candidate))
+        return last
+
+    def _mark_iteration_boundaries(
+        self, skeleton: TaskSkeleton, boundary: LoopBoundary
+    ) -> None:
+        """Insert one ``helix_iter_boundary`` per back-edge traversal."""
+        module = self.noelle.module
+        marker = declare_intrinsic(module, "helix_iter_boundary")
+        for latch in boundary.natural.latches():
+            cloned_latch = skeleton.block_map[id(latch)]
+            term = cloned_latch.terminator
+            call = ir.Call(marker, [])
+            call.parent = cloned_latch
+            cloned_latch.instructions.insert(
+                cloned_latch.instructions.index(term), call
+            )
+
+    # -- whole-program driver -------------------------------------------------------------
+    def run(
+        self,
+        minimum_hotness: float = 0.0,
+        max_rounds: int = 10,
+        only_loop_id: int | None = None,
+    ) -> int:
+        total = 0
+        for _ in range(max_rounds):
+            changed = self._run_round(minimum_hotness, only_loop_id)
+            total += changed
+            if not changed:
+                break
+            self.noelle.invalidate()
+            if only_loop_id is not None:
+                break  # surgical mode transforms at most one loop
+        return total
+
+    def _run_round(
+        self, minimum_hotness: float, only_loop_id: int | None = None
+    ) -> int:
+        parallelized = 0
+        transformed: set[int] = set()
+        for loop in self.noelle.loops():
+            if loop_is_stale(loop):
+                continue  # erased by an earlier transformation this round
+            if only_loop_id is not None and loop.structure.loop_id != only_loop_id:
+                continue  # surgical testing: only the requested loop
+            fn = loop.structure.function
+            if id(fn) in transformed or fn.metadata.get("noelle.task"):
+                continue
+            if any(
+                phi.metadata.get("noelle.generated")
+                for phi in loop.structure.header.phis()
+            ):
+                continue
+            profile = self.noelle.profile()
+            if profile is not None:
+                if profile.loop_hotness(loop.natural_loop) < minimum_hotness:
+                    continue
+            from ..runtime.machine import FORK_OVERHEAD
+
+            if not invocation_is_profitable(loop, profile, FORK_OVERHEAD):
+                continue
+            if loop.structure.depth() != 1:
+                continue
+            if not self.can_parallelize(loop):
+                continue
+            self.parallelize(loop)
+            transformed.add(id(fn))
+            parallelized += 1
+        return parallelized

@@ -1,0 +1,165 @@
+"""CFG utilities and interprocedural Mod/Ref summary tests."""
+
+from repro import ir
+from repro.analysis.cfg import (
+    exit_blocks,
+    postorder,
+    remove_unreachable_blocks,
+    reverse_postorder,
+    split_edge,
+)
+from repro.analysis.aa import ModRefResult
+from repro.analysis.modref import ModRefAnalysis
+from repro.analysis.pointsto import PointsToAnalysis
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from tests.conftest import build_count_loop
+
+
+class TestTraversals:
+    def test_reverse_postorder_starts_at_entry(self, count_loop):
+        _, fn, v = count_loop
+        order = reverse_postorder(fn)
+        assert order[0] is v["entry"]
+        # A block appears after at least one of its predecessors (except
+        # loop headers via back edges).
+        assert order.index(v["header"]) < order.index(v["body"])
+
+    def test_postorder_ends_at_entry(self, count_loop):
+        _, fn, _ = count_loop
+        order = postorder(fn)
+        assert order[-1] is fn.entry
+
+    def test_unreachable_blocks_skipped(self, count_loop):
+        module, fn, _ = count_loop
+        dead = fn.add_block("dead")
+        dead.append(ir.Ret(ir.const_int(0)))
+        order = postorder(fn)
+        assert dead not in order
+
+    def test_exit_blocks(self, count_loop):
+        _, fn, v = count_loop
+        assert exit_blocks(fn) == [v["exit"]]
+
+
+class TestCFGEdits:
+    def test_remove_unreachable(self, count_loop):
+        module, fn, _ = count_loop
+        dead = fn.add_block("dead")
+        dead.append(ir.Ret(ir.const_int(0)))
+        removed = remove_unreachable_blocks(fn)
+        assert removed == 1
+        assert dead not in fn.blocks
+        ir.verify_function(fn)
+
+    def test_remove_unreachable_fixes_phis(self):
+        source = """
+int flag = 1;
+int main() {
+  int r = 0;
+  if (flag) { r = 1; } else { r = 2; }
+  return r;
+}
+"""
+        module = compile_source(source)
+        fn = module.get_function("main")
+        # Manually disconnect the else path, then clean up.
+        entry_term = fn.entry.terminator
+        if isinstance(entry_term, ir.CondBranch):
+            then_block = entry_term.true_block
+            entry_term.erase_from_parent()
+            fn.entry.append(ir.Branch(then_block))
+            remove_unreachable_blocks(fn)
+            ir.verify_function(fn)
+
+    def test_split_edge_preserves_semantics(self, count_loop):
+        module, fn, v = count_loop
+        middle = split_edge(v["entry"], v["header"])
+        ir.verify_function(fn)
+        assert middle in fn.blocks
+        result = Interpreter(module).run("sum", [10])
+        assert result.return_value == 45
+
+    def test_split_edge_updates_phis(self, count_loop):
+        module, fn, v = count_loop
+        middle = split_edge(v["body"], v["header"])
+        for phi in v["header"].phis():
+            preds = [p for _, p in phi.incoming()]
+            assert middle in preds
+            assert v["body"] not in preds
+        ir.verify_function(fn)
+
+
+class TestModRef:
+    def _analysis(self, source):
+        module = compile_source(source)
+        pts = PointsToAnalysis(module)
+        return module, ModRefAnalysis(module, pts)
+
+    def test_pure_computation_has_no_footprint(self):
+        module, analysis = self._analysis(
+            "int f(int x) { return x * 2; }\nint main() { return f(2); }"
+        )
+        effects = analysis.function_effects(module.get_function("f"))
+        assert not effects.reads and not effects.writes and not effects.unknown
+
+    def test_global_writer_footprint(self):
+        module, analysis = self._analysis("""
+int g = 0;
+void set_it(int v) { g = v; }
+int main() { set_it(4); return g; }
+""")
+        effects = analysis.function_effects(module.get_function("set_it"))
+        assert effects.writes and not effects.reads
+
+    def test_transitive_through_calls(self):
+        module, analysis = self._analysis("""
+int g = 0;
+void leaf() { g = 1; }
+void middle() { leaf(); }
+int main() { middle(); return g; }
+""")
+        effects = analysis.function_effects(module.get_function("middle"))
+        assert effects.writes  # inherited from leaf
+
+    def test_call_mod_ref_disjoint(self):
+        module, analysis = self._analysis("""
+int a = 0;
+int b = 0;
+void touch_a() { a = 1; }
+int main() { touch_a(); return b; }
+""")
+        call = [i for i in module.get_function("main").instructions()
+                if isinstance(i, ir.Call)][0]
+        assert analysis.call_mod_ref(call, module.get_global("b")) is (
+            ModRefResult.NO_MOD_REF
+        )
+        assert analysis.call_mod_ref(call, module.get_global("a")) & (
+            ModRefResult.MOD
+        )
+
+    def test_unknown_external_is_conservative(self):
+        module = compile_source("int main() { return 1; }")
+        unknown = module.declare_function(
+            "mystery", ir.FunctionType(ir.VOID, [])
+        )
+        pts = PointsToAnalysis(module)
+        analysis = ModRefAnalysis(module, pts)
+        assert analysis.function_effects(unknown).unknown
+
+    def test_indirect_call_effects(self):
+        module, analysis = self._analysis("""
+int g = 0;
+int sel = 0;
+void w1() { g = 1; }
+void w2() { g = 2; }
+int main() {
+  void (*f)(void);
+  if (sel) { f = w1; } else { f = w2; }
+  f();
+  return g;
+}
+""")
+        main = module.get_function("main")
+        effects = analysis.function_effects(main)
+        assert effects.writes  # through both indirect targets

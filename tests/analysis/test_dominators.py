@@ -1,0 +1,172 @@
+"""Dominator and post-dominator tests, including a property-based
+comparison against a brute-force reference on random CFGs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ir
+from repro.analysis.dominators import DominatorTree, PostDominatorTree
+from tests.conftest import build_count_loop
+
+
+def build_cfg(edges, num_blocks, loops_back=()):
+    """Build a function whose CFG has the given edges (0 is entry).
+
+    Blocks with no outgoing edges get ``ret``; one successor -> ``br``;
+    two -> ``cond_br``.  More than two successors are not generated.
+    """
+    module = ir.Module("cfg")
+    fn = module.add_function("f", ir.FunctionType(ir.VOID, []))
+    blocks = [fn.add_block(f"b{i}") for i in range(num_blocks)]
+    successors = {i: [] for i in range(num_blocks)}
+    for src, dst in edges:
+        successors[src].append(dst)
+    for index, block in enumerate(blocks):
+        succs = successors[index]
+        if not succs:
+            block.append(ir.Ret())
+        elif len(succs) == 1:
+            block.append(ir.Branch(blocks[succs[0]]))
+        else:
+            block.append(
+                ir.CondBranch(ir.const_bool(True), blocks[succs[0]], blocks[succs[1]])
+            )
+    return fn, blocks
+
+
+def brute_force_dominators(fn, blocks):
+    """Reference: block D dominates B iff removing D disconnects B from entry."""
+    entry = blocks[0]
+
+    def reachable_avoiding(avoid):
+        seen = set()
+        stack = [] if entry is avoid else [entry]
+        while stack:
+            b = stack.pop()
+            if id(b) in seen:
+                continue
+            seen.add(id(b))
+            for s in b.successors():
+                if s is not avoid and id(s) not in seen:
+                    stack.append(s)
+        return seen
+
+    base = reachable_avoiding(None)
+    dom = {}
+    for d in blocks:
+        cut = reachable_avoiding(d)
+        for b in blocks:
+            if id(b) not in base:
+                continue
+            dom[(id(d), id(b))] = (b is d) or (id(b) not in cut)
+    return base, dom
+
+
+class TestDominatorsBasics:
+    def test_count_loop(self, count_loop):
+        _, fn, v = count_loop
+        dom = DominatorTree(fn)
+        assert dom.dominates_block(v["entry"], v["exit"])
+        assert dom.dominates_block(v["header"], v["body"])
+        assert dom.dominates_block(v["header"], v["exit"])
+        assert not dom.dominates_block(v["body"], v["exit"])
+        assert dom.immediate_dominator(v["body"]) is v["header"]
+        assert dom.immediate_dominator(v["entry"]) is None
+
+    def test_instruction_dominance_same_block(self, count_loop):
+        _, fn, v = count_loop
+        dom = DominatorTree(fn)
+        assert dom.dominates(v["acc_next"], v["i_next"])
+        assert not dom.dominates(v["i_next"], v["acc_next"])
+
+    def test_dominance_frontier_of_loop(self, count_loop):
+        _, fn, v = count_loop
+        dom = DominatorTree(fn)
+        frontier = dom.dominance_frontier()
+        # The body's frontier is the header (the merge point of the back edge).
+        assert id(v["header"]) in frontier[id(v["body"])]
+
+    def test_dominated_blocks(self, count_loop):
+        _, fn, v = count_loop
+        dom = DominatorTree(fn)
+        dominated = dom.dominated_blocks(v["header"])
+        assert {b.name for b in dominated} == {"header", "body", "exit"}
+
+
+class TestPostDominators:
+    def test_count_loop(self, count_loop):
+        _, fn, v = count_loop
+        pdt = PostDominatorTree(fn)
+        assert pdt.post_dominates(v["exit"], v["entry"])
+        assert pdt.post_dominates(v["header"], v["body"])
+        assert not pdt.post_dominates(v["body"], v["header"])
+
+    def test_diamond(self):
+        fn, blocks = build_cfg([(0, 1), (0, 2), (1, 3), (2, 3)], 4)
+        pdt = PostDominatorTree(fn)
+        assert pdt.post_dominates(blocks[3], blocks[0])
+        assert not pdt.post_dominates(blocks[1], blocks[0])
+
+    def test_multiple_exits(self):
+        fn, blocks = build_cfg([(0, 1), (0, 2)], 3)
+        pdt = PostDominatorTree(fn)
+        assert not pdt.post_dominates(blocks[1], blocks[0])
+        assert not pdt.post_dominates(blocks[2], blocks[0])
+        assert pdt.immediate_post_dominator(blocks[0]) is None  # the sink
+
+    def test_infinite_loop_no_exit(self):
+        fn, blocks = build_cfg([(0, 1), (1, 0)], 2)
+        pdt = PostDominatorTree(fn)  # must not crash
+        assert not pdt.post_dominates(blocks[1], blocks[0])
+
+
+@st.composite
+def random_cfg(draw):
+    num_blocks = draw(st.integers(min_value=2, max_value=10))
+    edges = []
+    for src in range(num_blocks):
+        out_degree = draw(st.integers(min_value=0, max_value=2))
+        targets = draw(
+            st.lists(
+                st.integers(min_value=0, max_value=num_blocks - 1),
+                min_size=out_degree,
+                max_size=out_degree,
+                unique=True,
+            )
+        )
+        edges.extend((src, t) for t in targets)
+    # Make sure block 1 is reachable-ish: add an entry edge when absent.
+    if num_blocks > 1 and not any(s == 0 for s, _ in edges):
+        edges.append((0, 1))
+    return num_blocks, edges
+
+
+class TestDominatorsPropertyBased:
+    @settings(max_examples=60, deadline=None)
+    @given(random_cfg())
+    def test_matches_brute_force(self, cfg):
+        num_blocks, edges = cfg
+        fn, blocks = build_cfg(edges, num_blocks)
+        base, reference = brute_force_dominators(fn, blocks)
+        dom = DominatorTree(fn)
+        for d in blocks:
+            for b in blocks:
+                if id(b) not in base or id(d) not in base:
+                    continue
+                expected = reference[(id(d), id(b))]
+                assert dom.dominates_block(d, b) == expected, (
+                    f"dominates({d.name},{b.name}) expected {expected}"
+                )
+
+    @settings(max_examples=40, deadline=None)
+    @given(random_cfg())
+    def test_idom_is_a_dominator(self, cfg):
+        num_blocks, edges = cfg
+        fn, blocks = build_cfg(edges, num_blocks)
+        dom = DominatorTree(fn)
+        for b in blocks:
+            parent = dom.immediate_dominator(b)
+            if parent is not None:
+                assert dom.dominates_block(parent, b)
+                assert parent is not b

@@ -1,0 +1,119 @@
+"""Loop detection and nesting tests."""
+
+from repro.analysis.loopinfo import LoopInfo
+from repro.frontend import compile_source
+
+
+def loops_of(source, fn_name="main"):
+    module = compile_source(source)
+    return LoopInfo(module.get_function(fn_name))
+
+
+class TestLoopDetection:
+    def test_single_loop(self, count_loop):
+        _, fn, v = count_loop
+        info = LoopInfo(fn)
+        loops = info.loops()
+        assert len(loops) == 1
+        loop = loops[0]
+        assert loop.header is v["header"]
+        assert {b.name for b in loop.blocks} == {"header", "body"}
+        assert loop.latches() == [v["body"]]
+        assert loop.entries() == [v["entry"]]
+        assert loop.exit_blocks() == [v["exit"]]
+        assert loop.exiting_blocks() == [v["header"]]
+
+    def test_no_loops(self):
+        info = loops_of("int main() { return 1; }")
+        assert info.loops() == []
+
+    def test_nesting(self):
+        info = loops_of(
+            """
+int main() {
+  int i; int j; int s = 0;
+  for (i = 0; i < 3; i = i + 1) {
+    for (j = 0; j < 3; j = j + 1) {
+      s = s + 1;
+    }
+  }
+  return s;
+}
+"""
+        )
+        loops = info.loops()
+        assert len(loops) == 2
+        outer = [l for l in loops if l.parent is None][0]
+        inner = [l for l in loops if l.parent is not None][0]
+        assert inner.parent is outer
+        assert outer.depth() == 1 and inner.depth() == 2
+        assert info.innermost_loops() == [inner]
+        assert outer.contains_block(inner.header)
+        assert outer.sub_loops() == [inner]
+
+    def test_innermost_loop_of_block(self):
+        info = loops_of(
+            """
+int main() {
+  int i; int j; int s = 0;
+  for (i = 0; i < 3; i = i + 1) {
+    s = s + 1;
+    for (j = 0; j < 3; j = j + 1) { s = s + 2; }
+  }
+  return s;
+}
+"""
+        )
+        inner = info.innermost_loops()[0]
+        assert info.loop_of(inner.header) is inner
+        assert info.loop_depth(inner.header) == 2
+
+    def test_sibling_loops(self):
+        info = loops_of(
+            """
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 3; i = i + 1) { s = s + 1; }
+  for (i = 0; i < 4; i = i + 1) { s = s + 2; }
+  return s;
+}
+"""
+        )
+        loops = info.loops()
+        assert len(loops) == 2
+        assert all(l.parent is None for l in loops)
+
+    def test_while_vs_do_while_shape(self):
+        from repro.core.loopstructure import LoopStructure
+
+        info = loops_of("int main() { int i = 0; while (i < 5) { i = i + 1; } return i; }")
+        structure = LoopStructure(info.loops()[0])
+        assert structure.is_while_shaped()
+        assert not structure.is_do_while_shaped()
+
+        info = loops_of("int main() { int i = 0; do { i = i + 1; } while (i < 5); return i; }")
+        structure = LoopStructure(info.loops()[0])
+        assert structure.is_do_while_shaped()
+
+    def test_multi_exit_loop(self):
+        info = loops_of(
+            """
+int main() {
+  int i = 0;
+  while (i < 100) {
+    if (i == 7) { break; }
+    i = i + 1;
+  }
+  return i;
+}
+"""
+        )
+        loop = info.loops()[0]
+        assert len(loop.exiting_blocks()) == 2
+
+    def test_loop_instructions_iteration(self, count_loop):
+        _, fn, v = count_loop
+        loop = LoopInfo(fn).loops()[0]
+        names = {i.name for i in loop.instructions() if i.name}
+        assert {"i", "acc", "cmp"} <= names
+        assert loop.num_instructions() == 7

@@ -1,0 +1,202 @@
+"""Baseline ("vanilla LLVM") implementations behave as the paper describes:
+correct but weaker than the NOELLE layer."""
+
+from repro.analysis.aa import BasicAliasAnalysis
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loopinfo import LoopInfo
+from repro.baselines import (
+    ConservativeParallelizer,
+    count_governing_ivs_llvm,
+    dependence_statistics,
+    find_governing_iv_llvm,
+    invariants_llvm,
+    licm_llvm_function,
+)
+from repro.core import Noelle
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.runtime import ParallelMachine
+
+
+class TestLLVMInvariants:
+    def test_simple_invariant_found(self):
+        module = compile_source(
+            """
+int g = 4;
+int a[10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) { a[i] = g; }
+  return a[0];
+}
+"""
+        )
+        fn = module.get_function("main")
+        dom = DominatorTree(fn)
+        loop = LoopInfo(fn, dom).loops()[0]
+        found = invariants_llvm(loop, dom, BasicAliasAnalysis())
+        assert any(i.opcode == "load" for i in found)
+
+    def test_no_recursion_through_chains(self):
+        module = compile_source(
+            """
+int g = 4;
+int a[10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    int k = g * 2;
+    int m = k + 1;
+    a[i] = m;
+  }
+  return a[0];
+}
+"""
+        )
+        fn = module.get_function("main")
+        dom = DominatorTree(fn)
+        loop = LoopInfo(fn, dom).loops()[0]
+        llvm_found = invariants_llvm(loop, dom, BasicAliasAnalysis())
+        noelle_found = Noelle(module).loop_of(loop).invariants.invariants()
+        # Algorithm 1 line one ("operand defined in L -> False") loses the
+        # chain; Algorithm 2 keeps it.
+        assert len(llvm_found) < len(noelle_found)
+
+
+class TestLLVMInduction:
+    def test_do_while_found(self):
+        module = compile_source(
+            "int main() { int i = 0; do { i = i + 1; } while (i < 9); return i; }"
+        )
+        loop = LoopInfo(module.get_function("main")).loops()[0]
+        iv = find_governing_iv_llvm(loop)
+        assert iv is not None and iv.step == 1
+
+    def test_while_shape_missed(self):
+        module = compile_source(
+            "int main() { int i = 0; while (i < 9) { i = i + 1; } return i; }"
+        )
+        loop = LoopInfo(module.get_function("main")).loops()[0]
+        assert find_governing_iv_llvm(loop) is None
+
+    def test_variable_bound_rejected(self):
+        module = compile_source(
+            """
+int bound = 5;
+int main() {
+  int i = 0;
+  int limit;
+  do {
+    limit = bound + i;
+    i = i + 1;
+  } while (i < limit);
+  return i;
+}
+"""
+        )
+        loop = LoopInfo(module.get_function("main")).loops()[0]
+        assert find_governing_iv_llvm(loop) is None
+
+    def test_count_across_workloads_matches_paper_shape(self):
+        # NOELLE finds dramatically more governing IVs (paper: 385 vs 11).
+        from repro.workloads import all_workloads
+
+        llvm_total = 0
+        noelle_total = 0
+        for workload in all_workloads()[:8]:
+            module = workload.compile()
+            noelle = Noelle(module)
+            for fn in module.defined_functions():
+                for loop in LoopInfo(fn).loops():
+                    if find_governing_iv_llvm(loop) is not None:
+                        llvm_total += 1
+                    if noelle.loop_of(loop).governing_iv() is not None:
+                        noelle_total += 1
+        assert noelle_total > 4 * max(llvm_total, 1)
+
+
+class TestLLVMLICM:
+    def test_hoists_and_preserves(self):
+        source = """
+int g = 3;
+int a[40];
+int main() {
+  int i;
+  for (i = 0; i < 40; i = i + 1) { a[i] = g + i; }
+  return a[7];
+}
+"""
+        baseline = Interpreter(compile_source(source)).run()
+        module = compile_source(source)
+        hoisted = licm_llvm_function(module.get_function("main"))
+        assert hoisted >= 1
+        result = Interpreter(module).run()
+        assert result.return_value == baseline.return_value
+
+
+class TestDependenceStatistics:
+    def test_noelle_disproves_more(self):
+        source = """
+int a[30];
+int b[30];
+void kernel(int *p, int *q, int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { q[i] = p[i] * 2; }
+}
+int main() { kernel(a, b, 30); return b[4]; }
+"""
+        module = compile_source(source)
+        stats = dependence_statistics(module)
+        assert stats["queries"] > 0
+        assert stats["noelle_disproved"] > stats["llvm_disproved"]
+        assert stats["noelle_fraction"] <= 1.0
+
+
+class TestConservativeParallelizer:
+    WHILE_SHAPED = """
+int a[500];
+int main() {
+  int i = 0;
+  while (i < 500) { a[i] = i * 2; i = i + 1; }
+  print_int(a[9]);
+  return a[9];
+}
+"""
+
+    def test_rejects_while_shaped_loops(self):
+        module = compile_source(self.WHILE_SHAPED)
+        parallelizer = ConservativeParallelizer(module)
+        assert parallelizer.run() == 0
+        report = parallelizer.report()
+        assert any(reason is not None for _, reason in report)
+
+    def test_rejects_loops_with_calls(self):
+        source = """
+int a[100];
+int work(int x) { return x * 2; }
+int main() {
+  int i = 0;
+  do { a[i] = work(i); i = i + 1; } while (i < 100);
+  return a[3];
+}
+"""
+        module = compile_source(source)
+        assert ConservativeParallelizer(module).run() == 0
+
+    def test_accepts_canonical_do_while(self):
+        source = """
+int a[400];
+int main() {
+  int i = 0;
+  do { a[i] = i * 3; i = i + 1; } while (i < 400);
+  print_int(a[11]);
+  return a[11];
+}
+"""
+        baseline = Interpreter(compile_source(source)).run()
+        module = compile_source(source)
+        parallelizer = ConservativeParallelizer(module)
+        count = parallelizer.run()
+        assert count == 1  # exactly the textbook shape it supports
+        result = ParallelMachine(module, num_cores=8).run()
+        assert result.output == baseline.output

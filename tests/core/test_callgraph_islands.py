@@ -1,0 +1,120 @@
+"""Call graph completeness and islands tests."""
+
+from repro.analysis.pointsto import PointsToAnalysis
+from repro.core.callgraph import CallGraph
+from repro.core.islands import connected_components
+from repro.frontend import compile_source
+
+
+def build_cg(source):
+    module = compile_source(source)
+    return module, CallGraph(module, PointsToAnalysis(module))
+
+
+class TestCallGraph:
+    def test_direct_edges(self):
+        module, cg = build_cg(
+            """
+int helper(int x) { return x + 1; }
+int main() { return helper(1); }
+"""
+        )
+        main = module.get_function("main")
+        edges = cg.callees_of(main)
+        assert [e.callee.name for e in edges] == ["helper"]
+        assert edges[0].is_must
+        assert len(edges[0].call_sites) == 1
+
+    def test_indirect_calls_resolved(self):
+        module, cg = build_cg(
+            """
+int sel = 0;
+int f1() { return 1; }
+int f2() { return 2; }
+int main() {
+  int (*p)(void);
+  if (sel) { p = f1; } else { p = f2; }
+  return p();
+}
+"""
+        )
+        main = module.get_function("main")
+        names = {e.callee.name for e in cg.callees_of(main)}
+        assert {"f1", "f2"} <= names
+        assert cg.is_complete()
+        # Two possible targets: the edges are may-edges.
+        for edge in cg.callees_of(main):
+            if edge.callee.name in ("f1", "f2"):
+                assert not edge.is_must
+
+    def test_callers_of(self):
+        module, cg = build_cg(
+            """
+int shared() { return 3; }
+int a() { return shared(); }
+int b() { return shared(); }
+int main() { return a() + b(); }
+"""
+        )
+        shared = module.get_function("shared")
+        callers = {e.caller.name for e in cg.callers_of(shared)}
+        assert callers == {"a", "b"}
+
+    def test_reachability(self):
+        module, cg = build_cg(
+            """
+int used() { return 1; }
+int unused() { return 2; }
+int main() { return used(); }
+"""
+        )
+        main = module.get_function("main")
+        reachable = cg.reachable_from([main])
+        assert id(module.get_function("used")) in reachable
+        assert id(module.get_function("unused")) not in reachable
+
+    def test_recursion_detected(self):
+        module, cg = build_cg(
+            """
+int fact(int n) { if (n < 2) { return 1; } return n * fact(n - 1); }
+int leaf() { return 5; }
+int main() { return fact(4) + leaf(); }
+"""
+        )
+        assert cg.is_recursive(module.get_function("fact"))
+        assert not cg.is_recursive(module.get_function("leaf"))
+
+    def test_islands(self):
+        module, cg = build_cg(
+            """
+int a() { return b(); }
+int b();
+int b() { return 1; }
+int lonely_x() { return lonely_y(); }
+int lonely_y() { return 2; }
+int main() { return a(); }
+"""
+        )
+        islands = cg.islands()
+        by_members = [sorted(f.name for f in island) for island in islands]
+        assert ["lonely_x", "lonely_y"] in by_members
+        main_island = [m for m in by_members if "main" in m][0]
+        assert "a" in main_island and "b" in main_island
+        assert "lonely_x" not in main_island
+
+
+class TestIslandsHelper:
+    def test_connected_components(self):
+        values = ["a", "b", "c", "d"]
+        neighbors = {
+            id(values[0]): [values[1]],
+            id(values[1]): [values[0]],
+            id(values[2]): [],
+            id(values[3]): [],
+        }
+        components = connected_components(values, neighbors)
+        sizes = sorted(len(c) for c in components)
+        assert sizes == [1, 1, 2]
+
+    def test_empty(self):
+        assert connected_components([], {}) == []

@@ -1,0 +1,150 @@
+"""Forest (FR), deterministic IDs, metadata, and profiler (PRO) tests."""
+
+from repro.core import Noelle
+from repro.core.forest import Forest
+from repro.core.metadata import IDAssigner, clean_noelle_metadata
+from repro.core.profiler import Profiler, embed_profile, read_embedded_counts
+from repro.frontend import compile_source
+
+
+class TestForest:
+    def _forest(self):
+        forest = Forest()
+        forest.add("root")
+        forest.add("child1", "root")
+        forest.add("child2", "root")
+        forest.add("grandchild", "child1")
+        return forest
+
+    def test_structure(self):
+        forest = self._forest()
+        assert [r.value for r in forest.roots] == ["root"]
+        assert forest.num_nodes() == 4
+        assert forest.node_of("grandchild").depth() == 2
+        assert {n.value for n in forest.leaves()} == {"child2", "grandchild"}
+
+    def test_bottom_up_order(self):
+        forest = self._forest()
+        order = [n.value for n in forest.bottom_up()]
+        assert order.index("grandchild") < order.index("child1")
+        assert order.index("child1") < order.index("root")
+
+    def test_remove_reconnects_children(self):
+        forest = self._forest()
+        forest.remove("child1")
+        # grandchild is adopted by root.
+        grandchild = forest.node_of("grandchild")
+        assert grandchild.parent.value == "root"
+        assert forest.num_nodes() == 3
+
+    def test_remove_root_promotes_children(self):
+        forest = self._forest()
+        forest.remove("root")
+        root_values = {r.value for r in forest.roots}
+        assert root_values == {"child1", "child2"}
+        assert forest.node_of("child1").parent is None
+
+    def test_remove_unknown_is_noop(self):
+        forest = self._forest()
+        forest.remove("not-there")
+        assert forest.num_nodes() == 4
+
+
+SOURCE = """
+int work(int x) { return x * 2 + 1; }
+int main() {
+  int i;
+  int s = 0;
+  for (i = 0; i < 25; i = i + 1) {
+    s = s + work(i);
+  }
+  return s;
+}
+"""
+
+
+class TestIDs:
+    def test_deterministic_across_builds(self):
+        a = compile_source(SOURCE)
+        b = compile_source(SOURCE)
+        ids_a = IDAssigner(a)
+        ids_b = IDAssigner(b)
+        # Same program, same traversal: the Nth instruction gets ID N.
+        for n in range(a.num_instructions()):
+            inst_a = ids_a.instruction_by_id(n)
+            inst_b = ids_b.instruction_by_id(n)
+            assert inst_a.opcode == inst_b.opcode
+
+    def test_roundtrip(self):
+        module = compile_source(SOURCE)
+        ids = IDAssigner(module)
+        for fn in module.defined_functions():
+            for inst in fn.instructions():
+                ident = ids.id_of_instruction(inst)
+                assert ids.instruction_by_id(ident) is inst
+
+    def test_clean_metadata(self):
+        module = compile_source(SOURCE)
+        IDAssigner(module)
+        removed = clean_noelle_metadata(module)
+        assert removed > 0
+        for fn in module.defined_functions():
+            for inst in fn.instructions():
+                assert not any(k.startswith("noelle.") for k in inst.metadata)
+
+
+class TestProfiler:
+    def test_counts_and_hotness(self):
+        module = compile_source(SOURCE)
+        profile = Profiler(module).profile()
+        noelle = Noelle(module)
+        loop = noelle.loop_info(module.get_function("main")).loops()[0]
+        assert profile.loop_invocations(loop) == 1
+        assert profile.loop_total_iterations(loop) == 25
+        assert profile.average_iterations_per_invocation(loop) == 25.0
+        # The loop (with its callee) dominates the run.
+        assert profile.loop_hotness(loop) > 0.8
+
+    def test_function_statistics(self):
+        module = compile_source(SOURCE)
+        profile = Profiler(module).profile()
+        work = module.get_function("work")
+        main = module.get_function("main")
+        assert profile.function_invocations(work) == 25
+        assert profile.function_invocations(main) == 1
+        assert profile.average_callee_invocations(main, work) == 25.0
+
+    def test_branch_probability(self):
+        module = compile_source(SOURCE)
+        profile = Profiler(module).profile()
+        main = module.get_function("main")
+        header = [b for b in main.blocks if "cond" in b.name][0]
+        body = [b for b in main.blocks if "body" in b.name][0]
+        exit_block = [b for b in main.blocks if "end" in b.name][0]
+        p_body = profile.branch_probability(header, body)
+        p_exit = profile.branch_probability(header, exit_block)
+        assert p_body > 0.9
+        assert abs(p_body + p_exit - 1.0) < 1e-9
+
+    def test_embed_and_read_back(self):
+        module = compile_source(SOURCE)
+        profile = Profiler(module).profile()
+        embed_profile(module, profile)
+        counts = read_embedded_counts(module)
+        total = sum(counts.values())
+        assert total == sum(
+            profile.count_of(i)
+            for fn in module.defined_functions()
+            for i in fn.instructions()
+        )
+
+    def test_inclusive_hotness_includes_callees(self):
+        module = compile_source(SOURCE)
+        profile = Profiler(module).profile()
+        main = module.get_function("main")
+        loop = Noelle(module).loop_info(main).loops()[0]
+        own = profile.weight_of_instructions(list(loop.instructions()))
+        inclusive = profile.inclusive_weight_of_instructions(
+            list(loop.instructions())
+        )
+        assert inclusive > own

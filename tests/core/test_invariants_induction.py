@@ -1,0 +1,225 @@
+"""INV (Algorithm 2) and IV abstraction tests, including the comparison
+against the LLVM-grade baselines the paper's Figure 4 / Section 4.3 make."""
+
+from repro import ir
+from repro.analysis.aa import BasicAliasAnalysis
+from repro.analysis.dominators import DominatorTree
+from repro.analysis.loopinfo import LoopInfo
+from repro.baselines.induction_llvm import find_governing_iv_llvm
+from repro.baselines.invariants_llvm import invariants_llvm
+from repro.core import Noelle
+from repro.frontend import compile_source
+
+
+def first_loop(source):
+    module = compile_source(source)
+    noelle = Noelle(module)
+    return module, noelle, noelle.loops()[0]
+
+
+CHAINED_INVARIANT = """
+int factor = 6;
+int a[30];
+int main() {
+  int i;
+  for (i = 0; i < 30; i = i + 1) {
+    int k = factor * 2;
+    int m = k + 5;
+    a[i] = i * m;
+  }
+  return a[3];
+}
+"""
+
+
+class TestInvariants:
+    def test_chained_invariants_found(self):
+        module, _, loop = first_loop(CHAINED_INVARIANT)
+        invariants = loop.invariants.invariants()
+        opcodes = sorted(i.opcode for i in invariants)
+        # load factor, k = mul, m = add — all invariant.
+        assert "load" in opcodes and "mul" in opcodes and "add" in opcodes
+        assert len(invariants) == 3
+
+    def test_algorithm1_misses_the_chain(self):
+        module = compile_source(CHAINED_INVARIANT)
+        fn = module.get_function("main")
+        dom = DominatorTree(fn)
+        loop = LoopInfo(fn, dom).loops()[0]
+        found = invariants_llvm(loop, dom, BasicAliasAnalysis())
+        # Algorithm 1 rejects any instruction with an in-loop operand, so
+        # only the load (and nothing downstream of it) qualifies.
+        module2, _, noelle_loop = first_loop(CHAINED_INVARIANT)
+        noelle_found = noelle_loop.invariants.invariants()
+        assert len(found) < len(noelle_found)
+
+    def test_variant_values_rejected(self):
+        _, _, loop = first_loop(
+            """
+int a[20];
+int main() {
+  int i;
+  for (i = 0; i < 20; i = i + 1) { a[i] = i * 2; }
+  return a[0];
+}
+"""
+        )
+        invariants = loop.invariants.invariants()
+        assert not [i for i in invariants if i.opcode == "mul"]
+
+    def test_load_with_in_loop_store_rejected(self):
+        _, _, loop = first_loop(
+            """
+int cell = 5;
+int a[20];
+int main() {
+  int i;
+  for (i = 0; i < 20; i = i + 1) {
+    int v = cell;
+    a[i] = v;
+    cell = v + 1;
+  }
+  return cell;
+}
+"""
+        )
+        loads = [
+            i for i in loop.invariants.invariants() if isinstance(i, ir.Load)
+        ]
+        assert not loads
+
+    def test_pure_call_with_invariant_args(self):
+        _, _, loop = first_loop(
+            """
+int base = 3;
+int a[20];
+int main() {
+  int i;
+  for (i = 0; i < 20; i = i + 1) {
+    double s = sqrt(2.0);
+    a[i] = i + (int)s;
+  }
+  return a[1];
+}
+"""
+        )
+        calls = [i for i in loop.invariants.invariants() if isinstance(i, ir.Call)]
+        assert len(calls) == 1  # sqrt is pure and its argument is constant
+
+    def test_outside_instruction_not_invariant(self):
+        module, _, loop = first_loop(CHAINED_INVARIANT)
+        ret = module.get_function("main").blocks[-1].terminator
+        assert not loop.invariants.is_invariant(ret)
+
+
+class TestInductionVariables:
+    def test_basic_iv(self):
+        _, _, loop = first_loop(
+            "int main() { int i; int s = 0; for (i = 0; i < 10; i = i + 1) { s = s + i; } return s; }"
+        )
+        manager = loop.induction_variables
+        ivs = manager.all_ivs()
+        assert ivs
+        governing = manager.governing_iv()
+        assert governing is not None
+        assert governing.constant_step() == 1
+        assert governing.exit_compare is not None
+
+    def test_non_governing_secondary_iv(self):
+        _, _, loop = first_loop(
+            """
+int a[100];
+int main() {
+  int i; int j = 0;
+  for (i = 0; i < 50; i = i + 1) {
+    a[j] = i;
+    j = j + 2;
+  }
+  return a[4];
+}
+"""
+        )
+        manager = loop.induction_variables
+        steps = sorted(iv.constant_step() for iv in manager.all_ivs())
+        assert steps == [1, 2]
+        governing = manager.governing_iv()
+        assert governing is not None and governing.constant_step() == 1
+
+    def test_derived_iv_relationship(self):
+        _, _, loop = first_loop(
+            """
+int a[300];
+int main() {
+  int i; int j = 0;
+  for (i = 0; i < 50; i = i + 1) {
+    a[j] = i;
+    j = j + 4;
+  }
+  return a[8];
+}
+"""
+        )
+        ivs = loop.induction_variables.all_ivs()
+        derived = [iv for iv in ivs if iv.derived_from is not None]
+        assert derived
+        assert derived[0].constant_step() == 4
+
+    def test_while_shape_handled_by_noelle_not_llvm(self):
+        source = """
+int main() {
+  int i = 0;
+  int s = 0;
+  while (i < 25) { s = s + i; i = i + 1; }
+  return s;
+}
+"""
+        module, _, loop = first_loop(source)
+        assert loop.governing_iv() is not None
+        natural = loop.natural_loop
+        assert find_governing_iv_llvm(natural) is None  # wrong shape for LLVM
+
+    def test_do_while_found_by_both(self):
+        source = """
+int main() {
+  int i = 0;
+  int s = 0;
+  do { s = s + i; i = i + 1; } while (i < 25);
+  return s;
+}
+"""
+        module, _, loop = first_loop(source)
+        assert loop.governing_iv() is not None
+        llvm_iv = find_governing_iv_llvm(loop.natural_loop)
+        assert llvm_iv is not None
+        assert llvm_iv.step == 1
+
+    def test_variable_bound_still_governing(self):
+        _, _, loop = first_loop(
+            """
+int limit = 40;
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < limit; i = i + 1) { s = s + 1; }
+  return s;
+}
+"""
+        )
+        assert loop.governing_iv() is not None
+
+    def test_data_dependent_exit_not_governing(self):
+        _, _, loop = first_loop(
+            """
+int a[100];
+int main() {
+  int i = 0;
+  while (a[i] == 0 && i < 99) { i = i + 1; }
+  return i;
+}
+"""
+        )
+        # The exit depends on memory, not only the IV: multiple exits and
+        # a non-affine condition; there must be no *unique* governing IV
+        # claim that would mislead a parallelizer.
+        governing = loop.governing_iv()
+        if governing is not None:
+            assert governing.exit_compare is not None

@@ -1,0 +1,363 @@
+"""Loop builder (LB) tests: canonicalization, cloning, splitting, rotation."""
+
+import pytest
+
+from repro import ir
+from repro.core import Noelle
+from repro.core.loopbuilder import LoopBuilder
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+
+
+def loop_of(module, fn_name="main", index=0):
+    noelle = Noelle(module)
+    fn = module.get_function(fn_name)
+    return noelle.loop_info(fn).loops()[index]
+
+
+class TestCanonicalization:
+    def test_ensure_pre_header_existing(self):
+        module = compile_source(
+            "int main() { int i; int s = 0; for (i = 0; i < 5; i = i + 1) { s = s + 1; } return s; }"
+        )
+        fn = module.get_function("main")
+        loop = loop_of(module)
+        pre = LoopBuilder(fn).ensure_pre_header(loop)
+        assert pre.successors() == [loop.header]
+        assert not loop.contains_block(pre)
+        ir.verify_function(fn)
+
+    def test_ensure_dedicated_exits(self):
+        # A loop exiting into a block also reachable from outside.
+        module = compile_source(
+            """
+int flag = 0;
+int main() {
+  int i = 0;
+  int s = 0;
+  if (flag) { s = 100; }
+  while (i < 5) { i = i + 1; }
+  return s + i;
+}
+"""
+        )
+        fn = module.get_function("main")
+        expected = Interpreter(compile_source(
+            """
+int flag = 0;
+int main() {
+  int i = 0;
+  int s = 0;
+  if (flag) { s = 100; }
+  while (i < 5) { i = i + 1; }
+  return s + i;
+}
+"""
+        )).run().return_value
+        loop = loop_of(module)
+        LoopBuilder(fn).ensure_dedicated_exits(loop)
+        ir.verify_function(fn)
+        assert Interpreter(module).run().return_value == expected
+
+    def test_hoist_to_pre_header(self):
+        module = compile_source(
+            """
+int base = 9;
+int a[20];
+int main() {
+  int i;
+  for (i = 0; i < 20; i = i + 1) {
+    int k = base + 1;
+    a[i] = k;
+  }
+  return a[3];
+}
+"""
+        )
+        fn = module.get_function("main")
+        expected = 10
+        loop = loop_of(module)
+        lb = LoopBuilder(fn)
+        adds = [
+            inst for inst in loop.instructions()
+            if inst.opcode == "add" and not any(
+                isinstance(op, ir.Instruction) and loop.contains(op)
+                for op in inst.operands
+            )
+        ]
+        # Hoist the invariant load + add chain bottom-up legality-free here.
+        loads = [i for i in loop.instructions() if isinstance(i, ir.Load)
+                 and isinstance(i.pointer, ir.GlobalVariable)]
+        for inst in loads + adds:
+            lb.hoist_to_pre_header(loop, inst)
+        ir.verify_function(fn)
+        assert Interpreter(module).run().return_value == expected
+
+
+class TestCloning:
+    def test_clone_into_same_function_is_isomorphic(self, count_loop):
+        module, fn, v = count_loop
+        noelle_loop = loop_of(module, "sum")
+        lb = LoopBuilder(fn)
+        value_map = {}
+        block_map = lb.clone_blocks_into(fn, noelle_loop.blocks, value_map)
+        assert len(block_map) == len(noelle_loop.blocks)
+        for block in noelle_loop.blocks:
+            clone = block_map[id(block)]
+            assert len(clone.instructions) == len(block.instructions)
+            for original, cloned in zip(block.instructions, clone.instructions):
+                assert original.opcode == cloned.opcode
+
+    def test_clone_remaps_operands(self, count_loop):
+        module, fn, v = count_loop
+        noelle_loop = loop_of(module, "sum")
+        lb = LoopBuilder(fn)
+        value_map = {}
+        block_map = lb.clone_blocks_into(fn, noelle_loop.blocks, value_map)
+        cloned_next = value_map[id(v["i_next"])]
+        cloned_phi = value_map[id(v["i"])]
+        assert cloned_next.lhs is cloned_phi  # intra-region operand remapped
+        original_users = {id(u) for u in v["i"].users()}
+        assert id(cloned_next) not in original_users
+
+
+class TestSplitLoop:
+    def test_split_preserves_semantics(self):
+        source = """
+int total = 0;
+int main() {
+  int i;
+  for (i = 0; i < 40; i = i + 1) { total = total + i * i; }
+  return total;
+}
+"""
+        expected = Interpreter(compile_source(source)).run().return_value
+        module = compile_source(source)
+        noelle = Noelle(module)
+        loop = noelle.loops()[0]
+        fn = loop.structure.function
+        iv = loop.governing_iv()
+        assert iv is not None
+        LoopBuilder(fn).split_loop(loop.natural_loop, iv, ir.const_int(17))
+        ir.verify_function(fn)
+        assert Interpreter(module).run().return_value == expected
+
+    def test_split_at_zero_runs_everything_in_second_loop(self):
+        source = """
+int total = 0;
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) { total = total + 1; }
+  return total;
+}
+"""
+        module = compile_source(source)
+        noelle = Noelle(module)
+        loop = noelle.loops()[0]
+        iv = loop.governing_iv()
+        LoopBuilder(loop.structure.function).split_loop(
+            loop.natural_loop, iv, ir.const_int(0)
+        )
+        assert Interpreter(module).run().return_value == 10
+
+
+class TestWhileToDoWhile:
+    def test_rotation_preserves_semantics(self):
+        source = """
+int total = 0;
+int main() {
+  int i = 0;
+  while (i < 13) { total = total + i; i = i + 1; }
+  return total;
+}
+"""
+        expected = Interpreter(compile_source(source)).run().return_value
+        module = compile_source(source)
+        fn = module.get_function("main")
+        loop = loop_of(module)
+        guard = LoopBuilder(fn).while_to_do_while(loop)
+        assert guard is not None
+        ir.verify_function(fn)
+        assert Interpreter(module).run().return_value == expected
+
+    def test_rotation_zero_trip_count(self):
+        source = """
+int bound = 0;
+int main() {
+  int i = 0;
+  int hits = 0;
+  while (i < bound) { hits = hits + 1; i = i + 1; }
+  return hits;
+}
+"""
+        module = compile_source(source)
+        fn = module.get_function("main")
+        loop = loop_of(module)
+        guard = LoopBuilder(fn).while_to_do_while(loop)
+        assert guard is not None
+        ir.verify_function(fn)
+        assert Interpreter(module).run().return_value == 0
+
+    def test_rotated_loop_is_do_while_shaped(self):
+        source = """
+int main() {
+  int i = 0;
+  int s = 0;
+  while (i < 8) { s = s + 2; i = i + 1; }
+  return s;
+}
+"""
+        module = compile_source(source)
+        fn = module.get_function("main")
+        loop = loop_of(module)
+        LoopBuilder(fn).while_to_do_while(loop)
+        from repro.analysis.loopinfo import LoopInfo
+        from repro.core.loopstructure import LoopStructure
+
+        rotated = LoopInfo(fn).loops()[0]
+        assert LoopStructure(rotated).is_do_while_shaped()
+        # And LLVM's do-while IV matcher can now see the governing IV.
+        from repro.baselines.induction_llvm import find_governing_iv_llvm
+
+        assert find_governing_iv_llvm(rotated) is not None
+
+    def test_rotation_rejects_multi_exit(self):
+        source = """
+int main() {
+  int i = 0;
+  while (i < 10) {
+    if (i == 5) { break; }
+    i = i + 1;
+  }
+  return i;
+}
+"""
+        module = compile_source(source)
+        fn = module.get_function("main")
+        loop = loop_of(module)
+        assert LoopBuilder(fn).while_to_do_while(loop) is None
+
+
+class TestDoWhileToWhile:
+    def _convert(self, source):
+        from repro.analysis.loopinfo import LoopInfo
+
+        reference = Interpreter(compile_source(source)).run()
+        module = compile_source(source)
+        fn = module.get_function("main")
+        loop = LoopInfo(fn).loops()[0]
+        new_header = LoopBuilder(fn).do_while_to_while(loop)
+        return reference, module, fn, new_header
+
+    def test_counted_conversion(self):
+        reference, module, fn, new_header = self._convert("""
+int main() {
+  int i = 0; int s = 0;
+  do { s = s + i * 3; i = i + 1; } while (i < 11);
+  print_int(s); print_int(i);
+  return s;
+}
+""")
+        assert new_header is not None
+        result = Interpreter(module).run()
+        assert result.output == reference.output
+        from repro.analysis.loopinfo import LoopInfo
+        from repro.core.loopstructure import LoopStructure
+
+        rotated = LoopInfo(fn).loops()[0]
+        assert LoopStructure(rotated).is_while_shaped()
+
+    def test_single_iteration_loop(self):
+        reference, module, fn, new_header = self._convert("""
+int main() {
+  int i = 5; int s = 0;
+  do { s = s + i; i = i + 1; } while (i < 6);
+  print_int(s);
+  return s;
+}
+""")
+        assert new_header is not None
+        assert Interpreter(module).run().output == reference.output
+
+    def test_memory_body(self):
+        reference, module, fn, new_header = self._convert("""
+int out[25];
+int main() {
+  int i = 0;
+  do { out[i] = i * 7 % 11; i = i + 1; } while (i < 25);
+  print_int(out[24]);
+  return 0;
+}
+""")
+        assert new_header is not None
+        assert Interpreter(module).run().output == reference.output
+
+    def test_declines_while_shaped(self):
+        from repro.analysis.loopinfo import LoopInfo
+
+        module = compile_source(
+            "int main() { int i = 0; while (i < 5) { i = i + 1; } return i; }"
+        )
+        fn = module.get_function("main")
+        loop = LoopInfo(fn).loops()[0]
+        assert LoopBuilder(fn).do_while_to_while(loop) is None
+
+    def test_declines_memory_dependent_condition(self):
+        from repro.analysis.loopinfo import LoopInfo
+
+        module = compile_source("""
+int flags[40];
+int main() {
+  int i = 0;
+  do { i = i + 1; } while (flags[i] == 0 && i < 39);
+  return i;
+}
+""")
+        fn = module.get_function("main")
+        loop = LoopInfo(fn).loops()[0]
+        # Condition reads memory: re-evaluation is unsafe; must decline.
+        assert LoopBuilder(fn).do_while_to_while(loop) is None
+
+
+class TestPeeling:
+    def test_peel_first_iteration(self):
+        from repro.analysis.loopinfo import LoopInfo
+        from repro.core import Noelle
+
+        source = """
+int total = 0;
+int main() {
+  int i;
+  for (i = 0; i < 9; i = i + 1) { total = total + i * i; }
+  return total;
+}
+"""
+        reference = Interpreter(compile_source(source)).run()
+        module = compile_source(source)
+        noelle = Noelle(module)
+        loop = noelle.loops()[0]
+        iv = loop.governing_iv()
+        LoopBuilder(loop.structure.function).peel_first_iteration(
+            loop.natural_loop, iv
+        )
+        ir.verify_function(module.get_function("main"))
+        assert Interpreter(module).run().return_value == reference.return_value
+
+    def test_peel_requires_constant_start(self):
+        from repro.core import Noelle
+
+        module = compile_source("""
+int start = 3;
+int main() {
+  int i; int s = 0;
+  for (i = start; i < 10; i = i + 1) { s = s + 1; }
+  return s;
+}
+""")
+        noelle = Noelle(module)
+        loop = noelle.loops()[0]
+        iv = loop.governing_iv()
+        with pytest.raises(ValueError):
+            LoopBuilder(loop.structure.function).peel_first_iteration(
+                loop.natural_loop, iv
+            )

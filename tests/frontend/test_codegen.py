@@ -1,0 +1,362 @@
+"""MiniC end-to-end semantics: compile + interpret, check results."""
+
+import pytest
+
+from repro.frontend import CodegenError, compile_source
+from repro.interp import run_module
+from tests.conftest import compile_and_run
+
+
+def returns(source, expected):
+    result = compile_and_run(source)
+    assert result.trapped is None, result.trapped
+    assert result.return_value == expected
+
+
+class TestArithmetic:
+    def test_integer_ops(self):
+        returns("int main() { return 7 + 3 * 2 - 4 / 2; }", 11)
+
+    def test_c_division_truncates_toward_zero(self):
+        returns("int main() { return (0 - 7) / 2; }", -3)
+        returns("int main() { return (0 - 7) % 2; }", -1)
+
+    def test_bitwise(self):
+        returns("int main() { return (12 & 10) | (1 ^ 3); }", 10)
+        returns("int main() { return 1 << 5; }", 32)
+        returns("int main() { return 1024 >> 3; }", 128)
+
+    def test_precedence(self):
+        returns("int main() { return 2 + 3 * 4; }", 14)
+        returns("int main() { return (2 + 3) * 4; }", 20)
+
+    def test_unary_minus_and_not(self):
+        returns("int main() { int x = 5; return -x + 1; }", -4)
+        returns("int main() { return !0 + !7; }", 1)
+
+    def test_float_arithmetic(self):
+        result = compile_and_run(
+            "double main() { return 1.5 * 4.0 - 1.0 / 2.0; }"
+        )
+        assert result.return_value == pytest.approx(5.5)
+
+    def test_int_float_promotion(self):
+        result = compile_and_run("double main() { return 3 * 0.5; }")
+        assert result.return_value == pytest.approx(1.5)
+
+    def test_explicit_casts(self):
+        returns("int main() { return (int)3.99; }", 3)
+        result = compile_and_run("double main() { return (double)7 / 2; }")
+        assert result.return_value == pytest.approx(3.5)
+
+    def test_sizeof(self):
+        returns("int main() { return sizeof(int) + sizeof(double); }", 2)
+        returns("struct P { int a; int b; };\nint main() { return sizeof(struct P); }", 2)
+
+
+class TestControlFlow:
+    def test_if_else(self):
+        returns("int main() { int x = 3; if (x > 2) { return 1; } else { return 0; } }", 1)
+
+    def test_if_without_else(self):
+        returns("int main() { int x = 1; if (x > 2) { x = 99; } return x; }", 1)
+
+    def test_while(self):
+        returns("int main() { int i = 0; while (i < 10) { i = i + 2; } return i; }", 10)
+
+    def test_do_while_runs_once(self):
+        returns("int main() { int i = 100; do { i = i + 1; } while (i < 10); return i; }", 101)
+
+    def test_for(self):
+        returns(
+            "int main() { int s = 0; int i; for (i = 1; i <= 5; i = i + 1) { s = s + i; } return s; }",
+            15,
+        )
+
+    def test_break_continue(self):
+        returns(
+            """
+int main() {
+  int s = 0;
+  int i;
+  for (i = 0; i < 100; i = i + 1) {
+    if (i % 2 == 0) { continue; }
+    if (i > 9) { break; }
+    s = s + i;
+  }
+  return s;
+}
+""",
+            1 + 3 + 5 + 7 + 9,
+        )
+
+    def test_nested_loops(self):
+        returns(
+            """
+int main() {
+  int total = 0;
+  int i;
+  int j;
+  for (i = 0; i < 4; i = i + 1) {
+    for (j = 0; j < 3; j = j + 1) {
+      total = total + i * j;
+    }
+  }
+  return total;
+}
+""",
+            sum(i * j for i in range(4) for j in range(3)),
+        )
+
+    def test_switch(self):
+        source = """
+int classify(int x) {
+  switch (x) {
+    case 1: return 10;
+    case 2: return 20;
+    default: return -1;
+  }
+}
+int main() { return classify(1) + classify(2) + classify(9); }
+"""
+        returns(source, 29)
+
+    def test_switch_fallthrough(self):
+        source = """
+int main() {
+  int x = 0;
+  switch (2) {
+    case 1: x = x + 1;
+    case 2: x = x + 10;
+    case 3: x = x + 100;
+      break;
+    case 4: x = x + 1000;
+  }
+  return x;
+}
+"""
+        returns(source, 110)
+
+    def test_short_circuit_and(self):
+        source = """
+int side = 0;
+int bump() { side = side + 1; return 1; }
+int main() {
+  int r = 0;
+  if (0 && bump()) { r = 1; }
+  return side;
+}
+"""
+        returns(source, 0)
+
+    def test_short_circuit_or(self):
+        source = """
+int side = 0;
+int bump() { side = side + 1; return 0; }
+int main() {
+  if (1 || bump()) { return side; }
+  return -1;
+}
+"""
+        returns(source, 0)
+
+
+class TestMemory:
+    def test_global_init_and_update(self):
+        returns("int g = 5;\nint main() { g = g + 2; return g; }", 7)
+
+    def test_arrays_1d(self):
+        returns(
+            """
+int a[10];
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) { a[i] = i * i; }
+  return a[7];
+}
+""",
+            49,
+        )
+
+    def test_arrays_2d(self):
+        returns(
+            """
+int m[4][5];
+int main() {
+  int i;
+  int j;
+  for (i = 0; i < 4; i = i + 1) {
+    for (j = 0; j < 5; j = j + 1) { m[i][j] = i * 10 + j; }
+  }
+  return m[2][3];
+}
+""",
+            23,
+        )
+
+    def test_local_arrays(self):
+        returns(
+            "int main() { int a[4]; a[0] = 1; a[3] = 9; return a[0] + a[3]; }",
+            10,
+        )
+
+    def test_pointers_and_address_of(self):
+        returns(
+            """
+int main() {
+  int x = 3;
+  int *p = &x;
+  *p = 11;
+  return x;
+}
+""",
+            11,
+        )
+
+    def test_pointer_arithmetic(self):
+        returns(
+            """
+int buf[5];
+int main() {
+  int *p = buf;
+  *(p + 2) = 42;
+  return buf[2];
+}
+""",
+            42,
+        )
+
+    def test_pointer_params(self):
+        returns(
+            """
+void write_to(int *dst, int value) { *dst = value; }
+int main() { int x = 0; write_to(&x, 17); return x; }
+""",
+            17,
+        )
+
+    def test_malloc_free(self):
+        returns(
+            """
+int main() {
+  int *p = (int *)malloc(4);
+  p[0] = 1; p[3] = 2;
+  int r = p[0] + p[3];
+  free((char *)p);
+  return r;
+}
+""",
+            3,
+        )
+
+    def test_structs(self):
+        returns(
+            """
+struct Point { int x; int y; };
+int main() {
+  struct Point p;
+  p.x = 3;
+  p.y = 4;
+  return p.x * p.x + p.y * p.y;
+}
+""",
+            25,
+        )
+
+    def test_struct_pointers_arrow(self):
+        returns(
+            """
+struct Node { int value; int pad; };
+int main() {
+  struct Node n;
+  struct Node *p = &n;
+  p->value = 8;
+  return n.value;
+}
+""",
+            8,
+        )
+
+    def test_char_type(self):
+        returns(
+            """
+char buf[4];
+int main() {
+  buf[0] = (char)65;
+  return buf[0];
+}
+""",
+            65,
+        )
+
+
+class TestFunctions:
+    def test_recursion(self):
+        returns(
+            "int fib(int n) { if (n < 2) { return n; } return fib(n-1) + fib(n-2); }\n"
+            "int main() { return fib(10); }",
+            55,
+        )
+
+    def test_void_function(self):
+        returns(
+            """
+int g = 0;
+void set_g(int v) { g = v; }
+int main() { set_g(9); return g; }
+""",
+            9,
+        )
+
+    def test_function_pointers(self):
+        returns(
+            """
+int twice(int x) { return x * 2; }
+int thrice(int x) { return x * 3; }
+int main() {
+  int (*op)(int);
+  op = twice;
+  int a = op(10);
+  op = thrice;
+  return a + op(10);
+}
+""",
+            50,
+        )
+
+    def test_missing_return_defaults_to_zero(self):
+        returns("int main() { int x = 5; x = x + 1; }", 0)
+
+    def test_print_outputs(self):
+        result = compile_and_run(
+            "int main() { print_int(1); print_int(2); print_float(0.5); return 0; }"
+        )
+        assert result.output == [1, 2, 0.5]
+
+
+class TestErrors:
+    def test_undefined_variable(self):
+        with pytest.raises(CodegenError):
+            compile_source("int main() { return nope; }")
+
+    def test_undefined_function(self):
+        with pytest.raises(CodegenError):
+            compile_source("int main() { return mystery(1); }")
+
+    def test_break_outside_loop(self):
+        with pytest.raises(CodegenError):
+            compile_source("int main() { break; return 0; }")
+
+    def test_bad_deref(self):
+        with pytest.raises(CodegenError):
+            compile_source("int main() { int x = 1; return *x; }")
+
+    def test_unknown_struct_field(self):
+        with pytest.raises(CodegenError):
+            compile_source(
+                "struct P { int a; };\nint main() { struct P p; return p.b; }"
+            )
+
+    def test_non_constant_global_init(self):
+        with pytest.raises(CodegenError):
+            compile_source("int helper() { return 1; }\nint g = helper();")

@@ -1,0 +1,175 @@
+"""Lexer and parser unit tests for MiniC."""
+
+import pytest
+
+from repro.frontend import LexError, SyntaxErrorMiniC, parse_program, tokenize
+from repro.frontend import ast as minic_ast
+
+
+class TestLexer:
+    def test_tokens_and_eof(self):
+        tokens = tokenize("int x = 42;")
+        assert [t.kind for t in tokens] == ["keyword", "ident", "op", "int", "op", "eof"]
+
+    def test_float_literals(self):
+        tokens = tokenize("1.5 2.0e3 0.25")
+        assert [t.kind for t in tokens[:3]] == ["float"] * 3
+
+    def test_maximal_munch_operators(self):
+        tokens = tokenize("a <= b >> 2 && c")
+        texts = [t.text for t in tokens if t.kind == "op"]
+        assert texts == ["<=", ">>", "&&"]
+
+    def test_line_comments(self):
+        tokens = tokenize("int a; // comment\nint b;")
+        idents = [t.text for t in tokens if t.kind == "ident"]
+        assert idents == ["a", "b"]
+
+    def test_block_comments_track_lines(self):
+        tokens = tokenize("/* one\ntwo */ int x;")
+        assert tokens[0].line == 2
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never ends")
+
+    def test_unexpected_character(self):
+        with pytest.raises(LexError):
+            tokenize("int $bad;")
+
+    def test_line_numbers(self):
+        tokens = tokenize("int a;\nint b;")
+        b_token = [t for t in tokens if t.text == "b"][0]
+        assert b_token.line == 2
+
+
+class TestParserTopLevel:
+    def test_struct_definition(self):
+        program = parse_program("struct P { int x; double y; };")
+        assert len(program.structs) == 1
+        struct = program.structs[0]
+        assert struct.name == "P"
+        assert [name for _, name, _ in struct.fields] == ["x", "y"]
+
+    def test_global_with_dims(self):
+        program = parse_program("int grid[4][5];")
+        decl = program.globals[0]
+        assert decl.dims == [4, 5]
+
+    def test_global_initializer(self):
+        program = parse_program("int g = -3;")
+        assert isinstance(program.globals[0].initializer, minic_ast.UnaryExpr)
+
+    def test_function_definition_and_declaration(self):
+        program = parse_program("int f(int a, double b);\nint f(int a, double b) { return a; }")
+        assert program.functions[0].body is None
+        assert program.functions[1].body is not None
+        assert [p.name for p in program.functions[1].params] == ["a", "b"]
+
+    def test_function_pointer_declarator(self):
+        program = parse_program("int main() { int (*op)(int, int); return 0; }")
+        decl = program.functions[0].body.statements[0]
+        assert isinstance(decl.type_ref, minic_ast.FuncPtrTypeRef)
+        assert len(decl.type_ref.params) == 2
+
+    def test_void_parameter_list(self):
+        program = parse_program("int f(void) { return 1; }")
+        assert program.functions[0].params == []
+
+
+class TestParserStatements:
+    def _body(self, text):
+        return parse_program(f"int main() {{ {text} }}").functions[0].body.statements
+
+    def test_for_with_declaration_init(self):
+        statements = self._body("for (int i = 0; i < 3; i = i + 1) { }")
+        loop = statements[0]
+        assert isinstance(loop, minic_ast.For)
+        assert isinstance(loop.init, minic_ast.Declaration)
+
+    def test_for_with_empty_clauses(self):
+        statements = self._body("for (;;) { break; }")
+        loop = statements[0]
+        assert loop.init is None and loop.cond is None and loop.step is None
+
+    def test_do_while(self):
+        statements = self._body("do { } while (1);")
+        assert isinstance(statements[0], minic_ast.DoWhile)
+
+    def test_switch_cases(self):
+        statements = self._body(
+            "switch (2) { case 1: break; case 2: break; default: break; }"
+        )
+        switch = statements[0]
+        assert [c.value for c in switch.cases] == [1, 2, None]
+
+    def test_dangling_else_binds_inner(self):
+        statements = self._body("if (1) if (0) return 1; else return 2; return 3;")
+        outer = statements[0]
+        assert outer.otherwise is None
+        assert outer.then.otherwise is not None
+
+
+class TestParserExpressions:
+    def _expr(self, text):
+        program = parse_program(f"int main() {{ return {text}; }}")
+        return program.functions[0].body.statements[0].value
+
+    def test_precedence_tree(self):
+        expr = self._expr("1 + 2 * 3")
+        assert expr.op == "+"
+        assert expr.rhs.op == "*"
+
+    def test_left_associativity(self):
+        expr = self._expr("10 - 4 - 3")
+        assert expr.op == "-"
+        assert expr.lhs.op == "-"
+
+    def test_comparison_chain(self):
+        expr = self._expr("a < b == c")
+        assert expr.op == "=="
+        assert expr.lhs.op == "<"
+
+    def test_call_with_nested_index(self):
+        expr = self._expr("f(a[i + 1], 2)")
+        assert isinstance(expr, minic_ast.CallExpr)
+        assert isinstance(expr.args[0], minic_ast.IndexExpr)
+
+    def test_field_chain(self):
+        expr = self._expr("p->inner.value")
+        assert isinstance(expr, minic_ast.FieldExpr)
+        assert expr.field == "value"
+        assert expr.base.arrow is True
+
+    def test_cast_vs_parenthesized(self):
+        cast = self._expr("(int)x")
+        assert isinstance(cast, minic_ast.CastExpr)
+        grouped = self._expr("(x)")
+        assert isinstance(grouped, minic_ast.NameRef)
+
+    def test_address_and_deref(self):
+        expr = self._expr("*&x")
+        assert expr.op == "*"
+        assert expr.operand.op == "&"
+
+
+class TestParserErrors:
+    def test_missing_semicolon(self):
+        with pytest.raises(SyntaxErrorMiniC):
+            parse_program("int main() { return 1 }")
+
+    def test_bad_toplevel(self):
+        with pytest.raises(SyntaxErrorMiniC):
+            parse_program("return 1;")
+
+    def test_unbalanced_braces(self):
+        with pytest.raises(SyntaxErrorMiniC):
+            parse_program("int main() { if (1) { return 0; }")
+
+    def test_non_integer_array_length(self):
+        with pytest.raises(SyntaxErrorMiniC):
+            parse_program("int a[x];")
+
+    def test_case_without_label(self):
+        with pytest.raises(SyntaxErrorMiniC):
+            parse_program("int main() { switch (1) { return 2; } }")

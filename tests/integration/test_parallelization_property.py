@@ -1,0 +1,80 @@
+"""Property-based end-to-end test: randomly generated loop programs keep
+their semantics through profiling, rm-lc-dependences, and each
+parallelizing technique on the simulated machine."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import Noelle
+from repro.core.profiler import Profiler
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.runtime import ParallelMachine
+from repro.tools import remove_loop_carried_dependences
+from repro.xforms import DOALL, HELIX
+from tests.conftest import outputs_match
+
+
+@st.composite
+def loop_program(draw):
+    """A random program: array init loop + a compute loop with optional
+    reduction, conditional, and inner arithmetic."""
+    size = draw(st.integers(min_value=8, max_value=64))
+    mul_a = draw(st.integers(min_value=1, max_value=97))
+    add_a = draw(st.integers(min_value=0, max_value=97))
+    mod_a = draw(st.integers(min_value=2, max_value=101))
+    use_condition = draw(st.booleans())
+    use_reduction = draw(st.booleans())
+    reduce_op = draw(st.sampled_from(["+", "^"]))
+    body_lines = [f"int v = (data[i] * {mul_a} + i) % {mod_a};"]
+    if use_condition:
+        threshold = draw(st.integers(min_value=0, max_value=mod_a))
+        body_lines.append(f"if (v > {threshold}) {{ v = v - 1; }}")
+    if use_reduction:
+        body_lines.append(f"acc = acc {reduce_op} v;")
+        body_lines.append("out[i] = v;")
+    else:
+        body_lines.append("out[i] = v + i;")
+    body = "\n    ".join(body_lines)
+    return f"""
+int data[{size}];
+int out[{size}];
+int main() {{
+  int i;
+  int acc = 0;
+  for (i = 0; i < {size}; i = i + 1) {{
+    data[i] = (i * 13 + {add_a}) % 251;
+  }}
+  for (i = 0; i < {size}; i = i + 1) {{
+    {body}
+  }}
+  print_int(acc);
+  print_int(out[{size // 2}]);
+  return acc;
+}}
+"""
+
+
+@settings(max_examples=25, deadline=None)
+@given(loop_program(), st.sampled_from(["doall", "helix"]),
+       st.integers(min_value=1, max_value=9))
+def test_parallelization_preserves_semantics(source, technique, cores):
+    baseline = Interpreter(compile_source(source)).run()
+    assert baseline.trapped is None
+    module = compile_source(source)
+    noelle = Noelle(module)
+    noelle.attach_profile(Profiler(module).profile())
+    remove_loop_carried_dependences(noelle)
+    if technique == "doall":
+        DOALL(noelle, cores).run()
+    else:
+        HELIX(noelle, cores).run()
+    machine = ParallelMachine(module, num_cores=cores)
+    result = machine.run()
+    assert result.trapped is None, result.trapped
+    assert outputs_match(result.output, baseline.output), (
+        f"{technique}@{cores} changed outputs: "
+        f"{result.output} vs {baseline.output}"
+    )
+    assert result.return_value == baseline.return_value

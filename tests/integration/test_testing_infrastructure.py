@@ -1,0 +1,121 @@
+"""Tests for the Section 2.4 testing infrastructure itself."""
+
+import pytest
+
+from repro.core import Noelle
+from repro.frontend import compile_source
+from repro.testing import (
+    DEFAULT_CONFIGS,
+    ToolConfig,
+    build_corpus,
+    generate_bash_script,
+    run_corpus,
+    run_micro_test,
+)
+from repro.testing import tests_with_pattern as corpus_with_pattern
+
+
+class TestCorpus:
+    def test_corpus_size_and_shape(self):
+        corpus = build_corpus()
+        assert len(corpus) >= 50  # "hundreds" scaled to our suite
+        names = [t.name for t in corpus]
+        assert len(names) == len(set(names)), "names must be unique"
+        for test in corpus:
+            assert test.patterns, test.name
+
+    def test_pattern_lookup(self):
+        reductions = corpus_with_pattern("reduction")
+        assert len(reductions) >= 10
+        do_whiles = corpus_with_pattern("shape:do_while")
+        assert do_whiles
+        assert all("shape:do_while" in t.patterns for t in do_whiles)
+
+    def test_every_micro_test_compiles_and_runs(self):
+        from repro.interp import Interpreter
+
+        for test in build_corpus():
+            module = compile_source(test.source, test.name)
+            result = Interpreter(module).run()
+            assert result.trapped is None, f"{test.name}: {result.trapped}"
+            assert len(result.output) >= 1
+
+
+class TestHarness:
+    def test_plain_config_passes_everything(self):
+        outcomes = run_corpus([ToolConfig("plain", [])])
+        failures = [o for o in outcomes if not o.passed]
+        assert not failures, failures[:3]
+
+    @pytest.mark.parametrize("tool", ["licm", "dead", "carat"])
+    def test_single_tool_configs_pass(self, tool):
+        outcomes = run_corpus(
+            [ToolConfig(tool, [tool])],
+            tests=build_corpus()[::4],  # a deterministic sample
+        )
+        failures = [o for o in outcomes if not o.passed]
+        assert not failures, failures[:3]
+
+    @pytest.mark.parametrize("tool", ["doall", "helix"])
+    def test_parallelizers_pass_reduction_tests(self, tool):
+        outcomes = run_corpus(
+            [ToolConfig(tool, [tool])],
+            tests=corpus_with_pattern("reduction")[::3],
+        )
+        failures = [o for o in outcomes if not o.passed]
+        assert not failures, failures[:3]
+
+    def test_force_loop_id_is_surgical(self):
+        source = """
+int a[100];
+int b[100];
+int main() {
+  int i;
+  for (i = 0; i < 100; i = i + 1) { a[i] = i; }
+  for (i = 0; i < 100; i = i + 1) { b[i] = i * 2; }
+  print_int(a[9] + b[9]);
+  return 0;
+}
+"""
+        module = compile_source(source)
+        noelle = Noelle(module)
+        loops = noelle.loops()
+        target_id = loops[1].structure.loop_id
+        from repro.xforms import DOALL
+
+        count = DOALL(noelle).run(only_loop_id=target_id)
+        assert count == 1
+        # Exactly one task function was created.
+        tasks = [n for n in module.functions if ".doall.task" in n]
+        assert len(tasks) == 1
+        from repro.interp import Interpreter
+
+        result = Interpreter(module).run()
+        assert result.output == [9 + 18]
+
+    def test_failure_reported_not_raised(self):
+        from repro.testing.corpus import MicroTest
+
+        broken = MicroTest("broken", "int main() { return *((int *)0); }",
+                           {"trap"})
+        outcome = run_micro_test(broken, ToolConfig("plain", []))
+        # The reference itself traps; transformed also traps -> pass is
+        # acceptable, but no exception may escape the harness.
+        assert isinstance(outcome.passed, bool)
+
+
+class TestBashGeneration:
+    def test_script_contents(self):
+        script = generate_bash_script(configs=DEFAULT_CONFIGS[:2])
+        assert script.startswith("#!/bin/bash")
+        assert "repro.testing" in script
+        assert "--config plain" in script
+        assert script.count("python -m repro.testing --test") == 2 * len(
+            build_corpus()
+        )
+
+    def test_worker_module_runs(self):
+        from repro.testing.__main__ import main
+
+        assert main(["--test", "reduction_xor", "--config", "licm"]) == 0
+        assert main(["--test", "nope", "--config", "plain"]) == 2

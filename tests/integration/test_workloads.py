@@ -1,0 +1,113 @@
+"""Integration: every workload compiles, verifies, runs, and behaves the
+same under each custom tool."""
+
+import pytest
+
+from repro import ir
+from repro.core import Noelle
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.workloads import all_workloads, get, suite
+from tests.conftest import outputs_match
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+def test_workload_compiles_verifies_runs(workload):
+    module = workload.compile()
+    ir.verify_module(module)
+    result = Interpreter(module, step_limit=workload.step_limit).run()
+    assert result.trapped is None, result.trapped
+    assert result.output, "every workload must print a checksum"
+
+
+def test_suites_populated():
+    assert len(suite("parsec")) >= 6
+    assert len(suite("mibench")) >= 8
+    assert len(suite("spec")) >= 7
+    assert len(all_workloads()) >= 21
+
+
+def test_registry_lookup():
+    workload = get("crc32")
+    assert workload.suite == "mibench"
+    with pytest.raises(KeyError):
+        get("not-a-benchmark")
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [w for w in all_workloads() if w.suite == "mibench"],
+    ids=lambda w: w.name,
+)
+def test_licm_preserves_every_mibench_workload(workload):
+    from repro.xforms import LICM
+
+    baseline = Interpreter(workload.compile(), step_limit=workload.step_limit).run()
+    module = workload.compile()
+    LICM(Noelle(module)).run()
+    ir.verify_module(module)
+    result = Interpreter(module, step_limit=workload.step_limit).run()
+    assert result.trapped is None
+    assert outputs_match(result.output, baseline.output)
+
+
+@pytest.mark.parametrize(
+    "workload",
+    [w for w in all_workloads() if w.suite == "spec"],
+    ids=lambda w: w.name,
+)
+def test_dead_preserves_every_spec_workload(workload):
+    from repro.xforms import DeadFunctionEliminator
+
+    baseline = Interpreter(workload.compile(), step_limit=workload.step_limit).run()
+    module = workload.compile()
+    DeadFunctionEliminator(Noelle(module)).run()
+    ir.verify_module(module)
+    result = Interpreter(module, step_limit=workload.step_limit).run()
+    assert outputs_match(result.output, baseline.output)
+
+
+@pytest.mark.parametrize(
+    "name", ["blackscholes", "susan", "canneal", "imagick"]
+)
+def test_carat_preserves_workloads(name):
+    from repro.xforms import CARAT
+
+    workload = get(name)
+    baseline = Interpreter(workload.compile(), step_limit=workload.step_limit).run()
+    module = workload.compile()
+    CARAT(Noelle(module)).run()
+    ir.verify_module(module)
+    result = Interpreter(module, step_limit=workload.step_limit * 2).run()
+    assert result.trapped is None
+    assert outputs_match(result.output, baseline.output)
+
+
+@pytest.mark.parametrize("name", ["bitcount", "x264", "fluidanimate"])
+def test_coos_preserves_workloads(name):
+    from repro.xforms import CompilerTiming
+
+    workload = get(name)
+    baseline = Interpreter(workload.compile(), step_limit=workload.step_limit).run()
+    module = workload.compile()
+    inserted = CompilerTiming(Noelle(module), budget_cycles=800).run()
+    ir.verify_module(module)
+    result = Interpreter(module, step_limit=workload.step_limit * 2).run()
+    assert result.trapped is None
+    assert outputs_match(result.output, baseline.output)
+    assert inserted >= 1
+    assert result.callback_count > 0
+
+
+@pytest.mark.parametrize("name", ["crc32", "sha", "dijkstra", "qsort"])
+def test_timesqueezer_preserves_workloads(name):
+    from repro.xforms import TimeSqueezer
+
+    workload = get(name)
+    baseline = Interpreter(workload.compile(), step_limit=workload.step_limit).run()
+    module = workload.compile()
+    TimeSqueezer(Noelle(module)).run()
+    ir.verify_module(module)
+    result = Interpreter(module, step_limit=workload.step_limit * 2).run()
+    assert result.trapped is None
+    assert outputs_match(result.output, baseline.output)

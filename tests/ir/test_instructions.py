@@ -1,0 +1,290 @@
+"""Unit tests for every instruction kind."""
+
+import pytest
+
+from repro import ir
+from repro.ir import (
+    DOUBLE,
+    I1,
+    I8,
+    I64,
+    Alloca,
+    ArrayType,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    ConstantInt,
+    ElemPtr,
+    FCmp,
+    FunctionType,
+    ICmp,
+    Load,
+    Module,
+    Phi,
+    PointerType,
+    Ret,
+    Select,
+    Store,
+    StructType,
+    Switch,
+    Unreachable,
+    const_bool,
+    const_float,
+    const_int,
+)
+
+
+class TestBinaryOp:
+    def test_result_type_follows_operands(self):
+        add = BinaryOp("add", const_int(1), const_int(2))
+        assert add.type == I64
+
+    def test_unknown_opcode(self):
+        with pytest.raises(ValueError):
+            BinaryOp("frobnicate", const_int(1), const_int(2))
+
+    def test_commutativity(self):
+        assert BinaryOp("add", const_int(1), const_int(2)).is_commutative()
+        assert BinaryOp("fmul", const_float(1), const_float(2)).is_commutative()
+        assert not BinaryOp("sub", const_int(1), const_int(2)).is_commutative()
+        assert not BinaryOp("shl", const_int(1), const_int(2)).is_commutative()
+
+    def test_no_memory_effects(self):
+        add = BinaryOp("add", const_int(1), const_int(2))
+        assert not add.may_read_memory()
+        assert not add.may_write_memory()
+        assert not add.has_side_effects()
+
+
+class TestCompares:
+    def test_icmp_result_is_i1(self):
+        assert ICmp("slt", const_int(1), const_int(2)).type == I1
+
+    def test_bad_predicate(self):
+        with pytest.raises(ValueError):
+            ICmp("lt", const_int(1), const_int(2))
+        with pytest.raises(ValueError):
+            FCmp("slt", const_float(1), const_float(2))
+
+    def test_swap_operands_preserves_semantics(self):
+        a, b = const_int(1), const_int(2)
+        cmp = ICmp("slt", a, b)
+        cmp.swap_operands()
+        assert cmp.predicate == "sgt"
+        assert cmp.lhs is b and cmp.rhs is a
+
+    def test_swap_symmetric_predicates(self):
+        cmp = ICmp("eq", const_int(1), const_int(2))
+        cmp.swap_operands()
+        assert cmp.predicate == "eq"
+
+    def test_fcmp_swap(self):
+        cmp = FCmp("ole", const_float(1), const_float(2))
+        cmp.swap_operands()
+        assert cmp.predicate == "oge"
+
+
+class TestMemoryInstructions:
+    def test_alloca_type(self):
+        alloca = Alloca(ArrayType(I64, 4))
+        assert alloca.type == PointerType(ArrayType(I64, 4))
+
+    def test_load_type_checks(self):
+        alloca = Alloca(I64)
+        load = Load(alloca)
+        assert load.type == I64
+        assert load.may_read_memory()
+        with pytest.raises(TypeError):
+            Load(const_int(5))
+
+    def test_store_requires_pointer(self):
+        alloca = Alloca(I64)
+        store = Store(const_int(1), alloca)
+        assert store.may_write_memory()
+        assert store.has_side_effects()
+        with pytest.raises(TypeError):
+            Store(const_int(1), const_int(2))
+
+
+class TestElemPtr:
+    def test_array_walk(self):
+        alloca = Alloca(ArrayType(I64, 10))
+        ep = ElemPtr(alloca, [const_int(0), const_int(3)])
+        assert ep.type == PointerType(I64)
+
+    def test_struct_walk(self):
+        st = StructType("pair", [I64, DOUBLE])
+        alloca = Alloca(st)
+        ep = ElemPtr(alloca, [const_int(0), const_int(1)])
+        assert ep.type == PointerType(DOUBLE)
+
+    def test_struct_index_must_be_constant(self):
+        st = StructType("pair2", [I64, DOUBLE])
+        alloca = Alloca(st)
+        dynamic = BinaryOp("add", const_int(0), const_int(1))
+        with pytest.raises(TypeError):
+            ElemPtr(alloca, [const_int(0), dynamic])
+
+    def test_first_index_only_scales(self):
+        alloca = Alloca(I64)
+        ep = ElemPtr(alloca, [const_int(5)])
+        assert ep.type == PointerType(I64)
+
+    def test_requires_index(self):
+        with pytest.raises(ValueError):
+            ElemPtr(Alloca(I64), [])
+
+    def test_all_zero_indices(self):
+        alloca = Alloca(ArrayType(I64, 2))
+        assert ElemPtr(alloca, [const_int(0), const_int(0)]).has_all_zero_indices()
+        assert not ElemPtr(alloca, [const_int(0), const_int(1)]).has_all_zero_indices()
+
+    def test_cannot_index_scalar(self):
+        alloca = Alloca(I64)
+        with pytest.raises(TypeError):
+            ElemPtr(alloca, [const_int(0), const_int(0)])
+
+
+class TestCall:
+    def _fn(self, module=None):
+        module = module or Module("m")
+        return module.add_function("callee", FunctionType(I64, [I64]))
+
+    def test_direct_call(self):
+        fn = self._fn()
+        call = Call(fn, [const_int(1)])
+        assert not call.is_indirect()
+        assert call.called_function() is fn
+        assert call.type == I64
+
+    def test_arity_check(self):
+        fn = self._fn()
+        with pytest.raises(TypeError):
+            Call(fn, [])
+
+    def test_vararg_call(self):
+        module = Module("m")
+        fn = module.add_function("v", FunctionType(ir.VOID, [], vararg=True))
+        Call(fn, [const_int(1), const_int(2)])  # no arity error
+
+    def test_indirect_call(self):
+        fn = self._fn()
+        load_slot = Alloca(PointerType(fn.function_type))
+        loaded = Load(load_slot)
+        call = Call(loaded, [const_int(3)])
+        assert call.is_indirect()
+        assert call.called_function() is None
+
+    def test_call_is_conservative_about_memory(self):
+        fn = self._fn()
+        call = Call(fn, [const_int(1)])
+        assert call.may_read_memory() and call.may_write_memory()
+
+    def test_non_function_callee(self):
+        with pytest.raises(TypeError):
+            Call(const_int(5), [])
+
+
+class TestPhi:
+    def test_incoming_management(self):
+        module = Module("m")
+        fn = module.add_function("f", FunctionType(I64, []))
+        b1 = fn.add_block("b1")
+        b2 = fn.add_block("b2")
+        phi = Phi(I64)
+        phi.add_incoming(const_int(1), b1)
+        phi.add_incoming(const_int(2), b2)
+        assert len(list(phi.incoming())) == 2
+        assert phi.incoming_value_for(b1).value == 1
+        phi.remove_incoming(b1)
+        assert len(list(phi.incoming())) == 1
+        with pytest.raises(KeyError):
+            phi.incoming_value_for(b1)
+
+    def test_set_incoming_value(self):
+        module = Module("m")
+        fn = module.add_function("f", FunctionType(I64, []))
+        b1 = fn.add_block("b1")
+        phi = Phi(I64)
+        phi.add_incoming(const_int(1), b1)
+        phi.set_incoming_value_for(b1, const_int(9))
+        assert phi.incoming_value_for(b1).value == 9
+
+
+class TestTerminators:
+    def _blocks(self):
+        module = Module("m")
+        fn = module.add_function("f", FunctionType(ir.VOID, []))
+        return fn.add_block("a"), fn.add_block("b"), fn.add_block("c")
+
+    def test_branch_successors(self):
+        a, b, _ = self._blocks()
+        br = Branch(b)
+        assert br.successors() == [b]
+        assert br.is_terminator()
+
+    def test_cond_branch(self):
+        a, b, c = self._blocks()
+        br = CondBranch(const_bool(True), b, c)
+        assert br.successors() == [b, c]
+
+    def test_replace_successor(self):
+        a, b, c = self._blocks()
+        br = CondBranch(const_bool(True), b, b)
+        br.replace_successor(b, c)
+        assert br.true_block is c and br.false_block is c
+
+    def test_switch(self):
+        a, b, c = self._blocks()
+        sw = Switch(const_int(1), a, [(ConstantInt(I64, 1), b), (ConstantInt(I64, 2), c)])
+        assert sw.default is a
+        assert len(list(sw.cases())) == 2
+        assert set(id(s) for s in sw.successors()) == {id(a), id(b), id(c)}
+
+    def test_ret(self):
+        assert Ret().value is None
+        assert Ret(const_int(1)).value.value == 1
+
+    def test_unreachable(self):
+        assert Unreachable().successors() == []
+
+
+class TestCastsAndSelect:
+    def test_cast_kinds(self):
+        value = const_int(5)
+        assert Cast("trunc", value, I8).type == I8
+        assert Cast("sitofp", value, DOUBLE).type == DOUBLE
+        with pytest.raises(ValueError):
+            Cast("reinterpret", value, I8)
+
+    def test_select(self):
+        sel = Select(const_bool(True), const_int(1), const_int(2))
+        assert sel.type == I64
+
+
+class TestStructuralEdits:
+    def test_erase_from_parent(self, count_loop):
+        _, fn, v = count_loop
+        inst = v["acc_next"]
+        block = inst.parent
+        # Remove the consumer of acc_next first to keep uses clean.
+        inst.replace_all_uses_with(const_int(0))
+        inst.erase_from_parent()
+        assert inst not in block.instructions
+        assert inst.parent is None
+
+    def test_move_before(self, count_loop):
+        _, fn, v = count_loop
+        i_next, acc_next = v["i_next"], v["acc_next"]
+        i_next.move_before(acc_next)
+        body = v["body"]
+        assert body.instructions.index(i_next) < body.instructions.index(acc_next)
+
+    def test_move_to_end_respects_terminator(self, count_loop):
+        _, fn, v = count_loop
+        acc_next = v["acc_next"]
+        acc_next.move_to_end(v["body"])
+        assert v["body"].instructions[-2] is acc_next
+        assert v["body"].terminator is v["body"].instructions[-1]

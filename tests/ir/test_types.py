@@ -1,0 +1,159 @@
+"""Unit tests for the IR type system."""
+
+import pytest
+
+from repro.ir import (
+    DOUBLE,
+    I1,
+    I8,
+    I32,
+    I64,
+    VOID,
+    ArrayType,
+    FunctionType,
+    IntType,
+    PointerType,
+    StructType,
+    pointer_to,
+)
+
+
+class TestIntType:
+    def test_interning(self):
+        assert IntType(64) is IntType(64)
+        assert IntType(32) is not IntType(64)
+
+    def test_equality(self):
+        assert IntType(64) == I64
+        assert IntType(32) != I64
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            IntType(0)
+        with pytest.raises(ValueError):
+            IntType(-8)
+
+    def test_str(self):
+        assert str(I1) == "i1"
+        assert str(I64) == "i64"
+
+    def test_size(self):
+        assert I64.size_in_slots() == 1
+        assert I8.size_in_slots() == 1
+
+    def test_predicates(self):
+        assert I64.is_integer()
+        assert I64.is_scalar()
+        assert not I64.is_float()
+        assert not I64.is_pointer()
+
+
+class TestFloatType:
+    def test_singleton(self):
+        from repro.ir import FloatType
+
+        assert FloatType() is DOUBLE
+
+    def test_str(self):
+        assert str(DOUBLE) == "double"
+
+    def test_predicates(self):
+        assert DOUBLE.is_float()
+        assert DOUBLE.is_scalar()
+        assert not DOUBLE.is_integer()
+
+
+class TestVoidType:
+    def test_no_size(self):
+        with pytest.raises(TypeError):
+            VOID.size_in_slots()
+
+    def test_predicates(self):
+        assert VOID.is_void()
+        assert not VOID.is_scalar()
+
+
+class TestPointerType:
+    def test_equality_is_structural(self):
+        assert PointerType(I64) == PointerType(I64)
+        assert PointerType(I64) != PointerType(I32)
+
+    def test_no_void_pointee(self):
+        with pytest.raises(ValueError):
+            PointerType(VOID)
+
+    def test_str(self):
+        assert str(PointerType(I64)) == "i64*"
+        assert str(PointerType(PointerType(I8))) == "i8**"
+
+    def test_helper(self):
+        assert pointer_to(I64) == PointerType(I64)
+
+    def test_size(self):
+        assert PointerType(DOUBLE).size_in_slots() == 1
+
+
+class TestArrayType:
+    def test_size(self):
+        assert ArrayType(I64, 10).size_in_slots() == 10
+        assert ArrayType(ArrayType(I64, 4), 3).size_in_slots() == 12
+
+    def test_equality(self):
+        assert ArrayType(I64, 10) == ArrayType(I64, 10)
+        assert ArrayType(I64, 10) != ArrayType(I64, 11)
+        assert ArrayType(I64, 10) != ArrayType(I32, 10)
+
+    def test_negative_length(self):
+        with pytest.raises(ValueError):
+            ArrayType(I64, -1)
+
+    def test_str(self):
+        assert str(ArrayType(DOUBLE, 5)) == "[5 x double]"
+
+
+class TestStructType:
+    def test_nominal_equality(self):
+        a = StructType("point", [I64, I64])
+        b = StructType("point", [DOUBLE])  # same name, different body
+        assert a == b  # nominal typing
+
+    def test_field_offsets(self):
+        st = StructType("mix", [I64, ArrayType(I8, 4), DOUBLE])
+        assert st.field_offset(0) == 0
+        assert st.field_offset(1) == 1
+        assert st.field_offset(2) == 5
+        assert st.size_in_slots() == 6
+
+    def test_field_offset_bounds(self):
+        st = StructType("p", [I64])
+        with pytest.raises(IndexError):
+            st.field_offset(1)
+
+    def test_set_body(self):
+        st = StructType("late")
+        assert st.size_in_slots() == 0
+        st.set_body([I64, I64])
+        assert st.size_in_slots() == 2
+
+
+class TestFunctionType:
+    def test_equality(self):
+        a = FunctionType(I64, [I64, DOUBLE])
+        b = FunctionType(I64, [I64, DOUBLE])
+        assert a == b
+        assert a != FunctionType(I64, [I64])
+        assert a != FunctionType(VOID, [I64, DOUBLE])
+
+    def test_vararg_distinct(self):
+        assert FunctionType(VOID, []) != FunctionType(VOID, [], vararg=True)
+
+    def test_str(self):
+        assert str(FunctionType(I64, [I64, I64])) == "i64 (i64, i64)"
+        assert str(FunctionType(VOID, [], vararg=True)) == "void (...)"
+
+    def test_no_size(self):
+        with pytest.raises(TypeError):
+            FunctionType(VOID, []).size_in_slots()
+
+    def test_hashable(self):
+        assert len({FunctionType(I64, []), FunctionType(I64, [])}) == 1

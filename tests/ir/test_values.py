@@ -1,0 +1,142 @@
+"""Unit tests for values, constants, and the def-use machinery."""
+
+import pytest
+
+from repro.ir import (
+    DOUBLE,
+    I8,
+    I64,
+    BinaryOp,
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    GlobalVariable,
+    IntType,
+    PointerType,
+    UndefValue,
+    const_bool,
+    const_float,
+    const_int,
+    wrap_int,
+)
+
+
+class TestConstantInt:
+    def test_wrapping_to_width(self):
+        assert ConstantInt(I8, 255).value == -1
+        assert ConstantInt(I8, 128).value == -128
+        assert ConstantInt(I8, 127).value == 127
+        assert ConstantInt(I64, 2**63).value == -(2**63)
+
+    def test_equality_and_hash(self):
+        assert ConstantInt(I64, 5) == ConstantInt(I64, 5)
+        assert ConstantInt(I64, 5) != ConstantInt(IntType(32), 5)
+        assert len({ConstantInt(I64, 5), ConstantInt(I64, 5)}) == 1
+
+    def test_ref(self):
+        assert ConstantInt(I64, -3).ref() == "-3"
+
+
+class TestConstantFloat:
+    def test_ref_always_float_syntax(self):
+        assert "." in ConstantFloat(DOUBLE, 1.0).ref()
+        assert ConstantFloat(DOUBLE, 0.5).ref() == "0.5"
+
+    def test_equality(self):
+        assert ConstantFloat(DOUBLE, 1.5) == ConstantFloat(DOUBLE, 1.5)
+        assert ConstantFloat(DOUBLE, 1.5) != ConstantFloat(DOUBLE, 2.5)
+
+
+class TestWrapInt:
+    def test_boundaries(self):
+        assert wrap_int(0, I8) == 0
+        assert wrap_int(127, I8) == 127
+        assert wrap_int(128, I8) == -128
+        assert wrap_int(-129, I8) == 127
+        assert wrap_int(256, I8) == 0
+
+    def test_i1(self):
+        one = IntType(1)
+        assert wrap_int(1, one) == -1  # 1-bit signed: 1 wraps to -1
+        assert wrap_int(0, one) == 0
+
+
+class TestHelpers:
+    def test_const_int_default_width(self):
+        assert const_int(7).type == I64
+
+    def test_const_bool(self):
+        assert const_bool(True).type == IntType(1)
+        assert const_bool(False).value == 0
+
+    def test_const_float(self):
+        assert const_float(2.0).type == DOUBLE
+
+
+class TestUseLists:
+    def test_operands_register_uses(self):
+        a = const_int(1)
+        b = const_int(2)
+        add = BinaryOp("add", a, b)
+        assert any(u.user is add for u in a.uses)
+        assert any(u.user is add for u in b.uses)
+
+    def test_replace_all_uses_with(self):
+        a = const_int(1)
+        b = const_int(2)
+        c = const_int(3)
+        add = BinaryOp("add", a, a)
+        a.replace_all_uses_with(c)
+        assert add.lhs is c and add.rhs is c
+        assert not a.uses
+        del b
+
+    def test_rauw_self_is_noop(self):
+        a = const_int(1)
+        add = BinaryOp("add", a, a)
+        a.replace_all_uses_with(a)
+        assert add.lhs is a
+
+    def test_set_operand_updates_use_lists(self):
+        a, b, c = const_int(1), const_int(2), const_int(3)
+        add = BinaryOp("add", a, b)
+        add.set_operand(0, c)
+        assert add.lhs is c
+        assert not any(u.user is add and u.index == 0 for u in a.uses)
+        assert any(u.user is add for u in c.uses)
+
+    def test_users_deduplicates(self):
+        a = const_int(1)
+        add = BinaryOp("add", a, a)
+        assert list(a.users()) == [add]
+        assert a.num_uses() == 2
+
+    def test_drop_all_operands(self):
+        a, b = const_int(1), const_int(2)
+        add = BinaryOp("add", a, b)
+        add.drop_all_operands()
+        assert not a.uses and not b.uses
+        assert add.operands == []
+
+
+class TestGlobalVariable:
+    def test_value_type_is_pointer(self):
+        gv = GlobalVariable(I64, "g")
+        assert gv.type == PointerType(I64)
+        assert gv.allocated_type == I64
+
+    def test_ref(self):
+        assert GlobalVariable(I64, "g").ref() == "@g"
+
+
+class TestMiscConstants:
+    def test_null(self):
+        null = ConstantNull(PointerType(I64))
+        assert null.ref() == "null"
+        assert null == ConstantNull(PointerType(I64))
+        assert null != ConstantNull(PointerType(I8))
+
+    def test_undef(self):
+        assert UndefValue(I64).ref() == "undef"
+        assert UndefValue(I64) == UndefValue(I64)
+        assert UndefValue(I64) != UndefValue(I8)

@@ -1,0 +1,171 @@
+"""mem2reg and simplification pass tests, including a semantics-preservation
+property test over generated programs."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import ir
+from repro.frontend import compile_source
+from repro.frontend.parser import parse_program
+from repro.frontend.codegen import CodeGenerator
+from repro.interp import Interpreter
+from repro.opt.mem2reg import promote_allocas_module
+from repro.opt.simplify import simplify_module
+
+
+def compile_unoptimized(source):
+    """Codegen without mem2reg/simplify (alloca form)."""
+    module = CodeGenerator("raw").generate(parse_program(source))
+    ir.verify_module(module)
+    return module
+
+
+class TestMem2Reg:
+    def test_promotes_scalars(self):
+        source = "int main() { int x = 1; int y = 2; return x + y; }"
+        module = compile_unoptimized(source)
+        before = sum(
+            1 for i in module.get_function("main").instructions()
+            if isinstance(i, ir.Alloca)
+        )
+        assert before >= 2
+        promoted = promote_allocas_module(module)
+        assert promoted >= 2
+        ir.verify_module(module)
+        after = sum(
+            1 for i in module.get_function("main").instructions()
+            if isinstance(i, ir.Alloca)
+        )
+        assert after == 0
+
+    def test_keeps_arrays_and_escaping(self):
+        source = """
+void sink(int *p) { *p = 1; }
+int main() {
+  int a[4];
+  int x = 0;
+  sink(&x);
+  a[0] = x;
+  return a[0];
+}
+"""
+        module = compile_unoptimized(source)
+        promote_allocas_module(module)
+        ir.verify_module(module)
+        allocas = [
+            i for i in module.get_function("main").instructions()
+            if isinstance(i, ir.Alloca)
+        ]
+        # The array and the address-taken scalar must survive.
+        assert len(allocas) == 2
+
+    def test_loop_variables_become_phis(self):
+        source = "int main() { int i = 0; while (i < 5) { i = i + 1; } return i; }"
+        module = compile_unoptimized(source)
+        promote_allocas_module(module)
+        fn = module.get_function("main")
+        assert any(isinstance(i, ir.Phi) for i in fn.instructions())
+        ir.verify_module(module)
+
+    def test_semantics_preserved(self):
+        source = """
+int main() {
+  int a = 3;
+  int b = 4;
+  int i;
+  for (i = 0; i < 6; i = i + 1) {
+    if (i % 2 == 0) { a = a + b; } else { b = b + 1; }
+  }
+  return a * 100 + b;
+}
+"""
+        raw = compile_unoptimized(source)
+        expected = Interpreter(raw).run().return_value
+        optimized = compile_unoptimized(source)
+        promote_allocas_module(optimized)
+        simplify_module(optimized)
+        ir.verify_module(optimized)
+        assert Interpreter(optimized).run().return_value == expected
+
+
+class TestSimplify:
+    def test_constant_folding(self):
+        module = compile_source("int main() { return 2 + 3 * 4; }")
+        main = module.get_function("main")
+        # Everything folds to `ret 14`.
+        assert main.num_instructions() == 1
+        term = main.entry.terminator
+        assert isinstance(term.value, ir.ConstantInt) and term.value.value == 14
+
+    def test_branch_folding_removes_dead_code(self):
+        module = compile_source(
+            "int main() { if (1) { return 5; } else { return 9; } }"
+        )
+        main = module.get_function("main")
+        assert len(main.blocks) == 1
+
+    def test_algebraic_identities(self):
+        module = compile_source(
+            """
+int opaque = 7;
+int main() { int x = opaque; return (x + 0) * 1; }
+"""
+        )
+        main = module.get_function("main")
+        opcodes = [i.opcode for i in main.instructions()]
+        assert "add" not in opcodes and "mul" not in opcodes
+
+    def test_condition_chain_collapsed(self):
+        module = compile_source(
+            """
+int flag = 1;
+int main() { if (flag > 0) { return 1; } return 0; }
+"""
+        )
+        main = module.get_function("main")
+        # One icmp for the comparison; no redundant zext+icmp-ne chain.
+        icmps = [i for i in main.instructions() if isinstance(i, ir.ICmp)]
+        assert len(icmps) == 1
+
+
+# --------------------------------------------------------------------------- property test
+@st.composite
+def arithmetic_program(draw):
+    """A random straight-line + loop MiniC program over two variables."""
+    statements = []
+    num_statements = draw(st.integers(min_value=1, max_value=6))
+    ops = ["+", "-", "*"]
+    for _ in range(num_statements):
+        target = draw(st.sampled_from(["a", "b"]))
+        lhs = draw(st.sampled_from(["a", "b", str(draw(st.integers(0, 9)))]))
+        rhs = draw(st.sampled_from(["a", "b", str(draw(st.integers(1, 9)))]))
+        op = draw(st.sampled_from(ops))
+        statements.append(f"{target} = {lhs} {op} {rhs};")
+    loop_bound = draw(st.integers(min_value=0, max_value=8))
+    body = "\n    ".join(statements)
+    return f"""
+int main() {{
+  int a = {draw(st.integers(-5, 5))};
+  int b = {draw(st.integers(-5, 5))};
+  int i;
+  for (i = 0; i < {loop_bound}; i = i + 1) {{
+    {body}
+  }}
+  return a * 31 + b;
+}}
+"""
+
+
+class TestOptimizationPreservesSemantics:
+    @settings(max_examples=40, deadline=None)
+    @given(arithmetic_program())
+    def test_mem2reg_and_simplify_preserve_results(self, source):
+        raw = compile_unoptimized(source)
+        expected = Interpreter(raw).run().return_value
+        optimized = compile_unoptimized(source)
+        promote_allocas_module(optimized)
+        simplify_module(optimized)
+        ir.verify_module(optimized)
+        actual = Interpreter(optimized).run().return_value
+        assert actual == expected

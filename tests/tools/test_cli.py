@@ -1,0 +1,135 @@
+"""End-to-end tests for the repro-noelle command-line interface."""
+
+import os
+
+import pytest
+
+from repro.tools.cli import main
+
+DEMO_SOURCE = """
+int data[300];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 300; i = i + 1) { data[i] = i * 5 % 23; }
+  for (i = 0; i < 300; i = i + 1) { s = s + data[i]; }
+  print_int(s);
+  return s;
+}
+"""
+
+LIB_SOURCE = """
+int twice(int x) { return x * 2; }
+int unused(int x) { return x - 1; }
+"""
+
+
+@pytest.fixture
+def demo_files(tmp_path):
+    source = tmp_path / "demo.mc"
+    source.write_text(DEMO_SOURCE)
+    ir_file = tmp_path / "demo.ir"
+    assert main(["whole-ir", str(source), "-o", str(ir_file)]) == 0
+    return source, ir_file, tmp_path
+
+
+class TestWholeIR:
+    def test_compile_single(self, demo_files):
+        _, ir_file, _ = demo_files
+        assert ir_file.exists()
+        assert "define @main" in ir_file.read_text()
+
+    def test_compile_multiple(self, tmp_path):
+        a = tmp_path / "a.mc"
+        a.write_text("int twice(int x);\nint main() { return twice(21); }")
+        b = tmp_path / "b.mc"
+        b.write_text(LIB_SOURCE)
+        out = tmp_path / "linked.ir"
+        assert main(["whole-ir", str(a), str(b), "-o", str(out)]) == 0
+        assert "define @twice" in out.read_text()
+
+    def test_accepts_ir_inputs(self, demo_files, tmp_path):
+        _, ir_file, _ = demo_files
+        out = tmp_path / "relinked.ir"
+        assert main(["whole-ir", str(ir_file), "-o", str(out)]) == 0
+
+
+class TestRun:
+    def test_run_prints_output(self, demo_files, capsys):
+        _, ir_file, _ = demo_files
+        assert main(["run", str(ir_file)]) == 0
+        captured = capsys.readouterr()
+        expected = sum((i * 5) % 23 for i in range(300))
+        assert str(expected) in captured.out
+
+
+class TestParallelize:
+    @pytest.mark.parametrize("technique", ["doall", "helix", "dswp"])
+    def test_parallelize_roundtrip(self, demo_files, tmp_path, technique, capsys):
+        _, ir_file, _ = demo_files
+        out = tmp_path / f"{technique}.ir"
+        assert main([
+            "parallelize", str(ir_file), "--technique", technique,
+            "--cores", "6", "-o", str(out),
+        ]) == 0
+        # The parallelized IR parses, verifies, and produces the same output.
+        capsys.readouterr()
+        assert main(["run", str(out), "--cores", "6"]) == 0
+        captured = capsys.readouterr()
+        expected = sum((i * 5) % 23 for i in range(300))
+        assert str(expected) in captured.out
+
+
+class TestOptimizers:
+    def test_licm(self, tmp_path, capsys):
+        source = tmp_path / "inv.mc"
+        source.write_text("""
+int g = 6;
+int out[50];
+int main() {
+  int i;
+  for (i = 0; i < 50; i = i + 1) {
+    int k = g * 3;
+    out[i] = k + i;
+  }
+  print_int(out[10]);
+  return out[10];
+}
+""")
+        ir_file = tmp_path / "inv.ir"
+        assert main(["whole-ir", str(source), "-o", str(ir_file)]) == 0
+        opt_file = tmp_path / "inv.opt.ir"
+        assert main(["licm", str(ir_file), "-o", str(opt_file)]) == 0
+        capsys.readouterr()
+        assert main(["run", str(opt_file)]) == 0
+        assert "28" in capsys.readouterr().out
+
+    def test_dead(self, tmp_path, capsys):
+        source = tmp_path / "dead.mc"
+        source.write_text(
+            "int used(int x) { return x + 1; }\n"
+            "int unused(int x) { return x * 9; }\n"
+            "int main() { print_int(used(1)); return 0; }"
+        )
+        ir_file = tmp_path / "dead.ir"
+        assert main(["whole-ir", str(source), "-o", str(ir_file)]) == 0
+        slim = tmp_path / "slim.ir"
+        assert main(["dead", str(ir_file), "-o", str(slim)]) == 0
+        text = slim.read_text()
+        assert "@unused" not in text
+        assert "@used" in text
+
+
+class TestReports:
+    def test_report(self, demo_files, capsys):
+        _, ir_file, _ = demo_files
+        assert main(["report", str(ir_file)]) == 0
+        out = capsys.readouterr().out
+        assert "PDG:" in out
+        assert "doall=True" in out
+
+    def test_profile(self, demo_files, capsys):
+        _, ir_file, _ = demo_files
+        assert main(["profile", str(ir_file)]) == 0
+        out = capsys.readouterr().out
+        assert "main" in out
+        assert "hotness" in out

@@ -1,0 +1,263 @@
+"""DOALL / HELIX / DSWP correctness and behavior tests."""
+
+import pytest
+
+from repro.core import Noelle
+from repro.core.profiler import Profiler
+from repro.frontend import compile_source
+from repro.interp import Interpreter
+from repro.runtime import ParallelMachine
+from repro.tools import remove_loop_carried_dependences
+from repro.xforms import DOALL, DSWP, HELIX
+from tests.conftest import outputs_match
+
+
+def run_sequential(source):
+    module = compile_source(source)
+    result = Interpreter(module).run()
+    assert result.trapped is None
+    return result
+
+
+def parallelize(source, technique, **kwargs):
+    module = compile_source(source)
+    noelle = Noelle(module)
+    noelle.attach_profile(Profiler(module).profile())
+    remove_loop_carried_dependences(noelle)
+    if technique == "doall":
+        count = DOALL(noelle, kwargs.get("cores", 8)).run()
+    elif technique == "helix":
+        count = HELIX(noelle, kwargs.get("cores", 8)).run()
+    else:
+        count = DSWP(noelle, num_stages=kwargs.get("stages", 3)).run()
+    return module, count
+
+
+def check_equivalent(source, technique, cores=8, expect_parallelized=True):
+    baseline = run_sequential(source)
+    module, count = parallelize(source, technique, cores=cores)
+    if expect_parallelized:
+        assert count >= 1, f"{technique} parallelized nothing"
+    machine = ParallelMachine(module, num_cores=cores)
+    result = machine.run()
+    assert result.trapped is None, result.trapped
+    assert outputs_match(result.output, baseline.output, rel=1e-6)
+    return baseline, result, machine
+
+
+ARRAY_FILL = """
+int a[800];
+int main() {
+  int i;
+  for (i = 0; i < 800; i = i + 1) { a[i] = (i * 17 + 3) % 101; }
+  print_int(a[700]);
+  return a[700];
+}
+"""
+
+SUM_REDUCTION = """
+int a[600];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 600; i = i + 1) { a[i] = i % 23; }
+  for (i = 0; i < 600; i = i + 1) { s = s + a[i]; }
+  print_int(s);
+  return s;
+}
+"""
+
+FLOAT_REDUCTION = """
+double main() {
+  int i;
+  double acc = 0.0;
+  for (i = 0; i < 400; i = i + 1) {
+    acc = acc + sqrt((double)i + 0.5);
+  }
+  print_float(acc);
+  return acc;
+}
+"""
+
+HISTOGRAM = """
+int hist[32];
+int main() {
+  int i;
+  int checksum = 0;
+  for (i = 0; i < 900; i = i + 1) {
+    int bucket = (i * 7 + 3) % 32;
+    int work = (i * i + bucket) % 97;
+    hist[bucket] = hist[bucket] + 1;
+    checksum = checksum + work;
+  }
+  print_int(checksum);
+  print_int(hist[3]);
+  return checksum;
+}
+"""
+
+PIPELINE_FRIENDLY = """
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 700; i = i + 1) {
+    int a = (i * 13 + 5) % 101;
+    int b = (a * a + 7) % 97;
+    int c = (b * 31 + a) % 89;
+    s = s + c;
+  }
+  print_int(s);
+  return s;
+}
+"""
+
+SEQUENTIAL_RECURRENCE = """
+int a[200];
+int main() {
+  int i;
+  a[0] = 1;
+  for (i = 1; i < 200; i = i + 1) { a[i] = (a[i - 1] * 3 + i) % 1000; }
+  print_int(a[199]);
+  return a[199];
+}
+"""
+
+
+class TestDOALL:
+    def test_array_fill(self):
+        check_equivalent(ARRAY_FILL, "doall")
+
+    def test_sum_reduction(self):
+        check_equivalent(SUM_REDUCTION, "doall")
+
+    def test_float_reduction(self):
+        check_equivalent(FLOAT_REDUCTION, "doall")
+
+    def test_speedup_scales_with_cores(self):
+        baseline = run_sequential(ARRAY_FILL)
+        module, _ = parallelize(ARRAY_FILL, "doall")
+        cycles = {}
+        for cores in (1, 4, 12):
+            machine = ParallelMachine(module, num_cores=cores)
+            result = machine.run()
+            cycles[cores] = result.cycles
+        assert cycles[4] < cycles[1]
+        assert cycles[12] < cycles[4]
+        assert baseline.cycles / cycles[12] > 3.0
+
+    def test_rejects_recurrence(self):
+        module, count = parallelize(SEQUENTIAL_RECURRENCE, "doall")
+        # The recurrence loop must stay sequential (the fill loop of a[0]
+        # is straight-line, so nothing parallelizable remains).
+        result = ParallelMachine(module, num_cores=8).run()
+        baseline = run_sequential(SEQUENTIAL_RECURRENCE)
+        assert outputs_match(result.output, baseline.output)
+
+    def test_histogram_rejected_by_doall(self):
+        # The histogram update is a may-carried memory dependence.
+        module = compile_source(HISTOGRAM)
+        noelle = Noelle(module)
+        doall = DOALL(noelle)
+        hot = [l for l in noelle.loops() if l.structure.depth() == 1]
+        histogram_loops = [l for l in hot if not doall.can_parallelize(l)]
+        assert histogram_loops
+
+
+class TestHELIX:
+    def test_histogram_parallelized(self):
+        baseline, result, machine = check_equivalent(HISTOGRAM, "helix")
+        helix_runs = [e for e in machine.executions if e.kind == "helix"]
+        assert helix_runs
+
+    def test_pure_doall_loop_also_works(self):
+        check_equivalent(ARRAY_FILL, "helix")
+
+    def test_reduction_loop(self):
+        check_equivalent(SUM_REDUCTION, "helix")
+
+    def test_sequential_segments_bound_speedup(self):
+        # A loop that is *entirely* one sequential chain cannot speed up.
+        baseline = run_sequential(SEQUENTIAL_RECURRENCE)
+        module, _ = parallelize(SEQUENTIAL_RECURRENCE, "helix")
+        result = ParallelMachine(module, num_cores=12).run()
+        assert outputs_match(result.output, baseline.output)
+        assert result.cycles > baseline.cycles * 0.8  # no miracle
+
+
+class TestDSWP:
+    def test_pipeline_loop(self):
+        check_equivalent(PIPELINE_FRIENDLY, "dswp")
+
+    def test_stage_count_respected(self):
+        module = compile_source(PIPELINE_FRIENDLY)
+        noelle = Noelle(module)
+        noelle.attach_profile(Profiler(module).profile())
+        dswp = DSWP(noelle, num_stages=3)
+        count = dswp.run()
+        assert count == 1
+        stage_fns = [
+            name for name in module.functions if ".dswp.stage" in name
+        ]
+        assert 2 <= len(stage_fns) <= 3
+
+    def test_reduction_in_last_stage(self):
+        check_equivalent(SUM_REDUCTION, "dswp", expect_parallelized=False)
+
+
+class TestCombined:
+    @pytest.mark.parametrize("technique", ["doall", "helix", "dswp"])
+    def test_every_technique_preserves_all_programs(self, technique):
+        for source in (ARRAY_FILL, SUM_REDUCTION, HISTOGRAM, PIPELINE_FRIENDLY,
+                       SEQUENTIAL_RECURRENCE):
+            baseline = run_sequential(source)
+            module, _ = parallelize(source, technique)
+            result = ParallelMachine(module, num_cores=6).run()
+            assert result.trapped is None
+            assert outputs_match(result.output, baseline.output, rel=1e-6), (
+                f"{technique} broke outputs"
+            )
+
+
+class TestDSWPNativeTerritory:
+    """DSWP's motivating case: chained sequential SCCs that defeat DOALL
+    entirely and serialize HELIX, but pipeline across stages."""
+
+    CHAINED = """
+int out[2200];
+int main() {
+  int i;
+  int gen_state = 7;
+  int mix_state = 3;
+  for (i = 0; i < 2200; i = i + 1) {
+    gen_state = (gen_state * 1103515245 + 12345) % 2147483647;
+    int token = (gen_state / 65536) % 32768;
+    int a = (token * 13 + 7) % 97;
+    int b = (a * a + token) % 89;
+    mix_state = (mix_state * 31 + b) % 127;
+    out[i] = mix_state;
+  }
+  print_int(out[2199]);
+  return out[2199];
+}
+"""
+
+    def test_doall_rejects_chained_recurrences(self):
+        module, count = parallelize(self.CHAINED, "doall")
+        assert count == 0
+
+    def test_dswp_pipelines_and_wins(self):
+        baseline = run_sequential(self.CHAINED)
+        module, count = parallelize(self.CHAINED, "dswp")
+        assert count == 1
+        machine = ParallelMachine(module, num_cores=8)
+        result = machine.run()
+        assert result.trapped is None
+        assert outputs_match(result.output, baseline.output)
+        dswp_speedup = baseline.cycles / result.cycles
+
+        helix_module, _ = parallelize(self.CHAINED, "helix")
+        helix_result = ParallelMachine(helix_module, num_cores=8).run()
+        assert outputs_match(helix_result.output, baseline.output)
+        helix_speedup = baseline.cycles / helix_result.cycles
+
+        # The pipeline beats both the sequential baseline and HELIX here.
+        assert dswp_speedup > 1.3
+        assert dswp_speedup > helix_speedup
