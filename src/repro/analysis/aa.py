@@ -20,6 +20,7 @@ from ..ir.instructions import Alloca, Call, Cast, ElemPtr, Instruction, Load, Ph
 from ..ir.intrinsics import ALLOCATOR_INTRINSICS, INTRINSICS, PURE_INTRINSICS
 from ..ir.module import Function
 from ..ir.values import Argument, ConstantInt, ConstantNull, GlobalVariable, Value
+from ..perf import STATS
 
 
 class AliasResult(enum.Enum):
@@ -44,6 +45,56 @@ class AliasAnalysis:
     def mod_ref(self, inst: Instruction, ptr: Value) -> ModRefResult:
         """May ``inst`` read (REF) / write (MOD) the memory ``ptr`` points to?"""
         raise NotImplementedError
+
+
+class AliasMemo:
+    """Memoizes symmetric alias queries keyed by underlying-object pairs.
+
+    When the two pointers derive from *different* underlying objects, the
+    alias verdict is a pure function of the object pair (both the
+    identified-object rules and the points-to-set intersection only look
+    at the roots), so one cache entry answers every pointer pair rooted
+    there.  When both pointers share one underlying object, the verdict
+    depends on their offsets, so the entry is keyed by the concrete value
+    pair instead.
+
+    Keys are ``id()`` pairs; every entry pins strong references to the
+    keyed values so a garbage-collected instruction can never recycle an
+    id into a stale hit.  The memo stays valid across per-function PDG
+    invalidation: dependence facts for surviving values cannot be
+    weakened by in-place transformation (new values get fresh ids and
+    therefore fresh, conservatively computed entries).
+    """
+
+    __slots__ = ("_cache",)
+
+    def __init__(self) -> None:
+        #: key -> (result, pin_a, pin_b)
+        self._cache: dict[tuple[int, int], tuple] = {}
+
+    def key_of(self, a: Value, b: Value):
+        """The cache key for the pair plus the values the entry must pin."""
+        obj_a = underlying_object(a)
+        obj_b = underlying_object(b)
+        if obj_a is obj_b:
+            ka, kb, pin_a, pin_b = id(a), id(b), a, b
+        else:
+            ka, kb, pin_a, pin_b = id(obj_a), id(obj_b), obj_a, obj_b
+        key = (ka, kb) if ka <= kb else (kb, ka)
+        return key, pin_a, pin_b
+
+    def lookup(self, key) -> "AliasResult | None":
+        entry = self._cache.get(key)
+        return entry[0] if entry is not None else None
+
+    def store(self, key, result: "AliasResult", pin_a: Value, pin_b: Value) -> None:
+        self._cache[key] = (result, pin_a, pin_b)
+
+    def clear(self) -> None:
+        self._cache.clear()
+
+    def __len__(self) -> int:
+        return len(self._cache)
 
 
 def strip_pointer_casts(value: Value) -> Value:
@@ -120,7 +171,21 @@ def _alloca_does_not_escape(alloca: Alloca) -> bool:
 class BasicAliasAnalysis(AliasAnalysis):
     """Intraprocedural, stateless alias rules — the LLVM-grade baseline."""
 
+    def __init__(self) -> None:
+        self._memo = AliasMemo()
+
     def alias(self, a: Value, b: Value) -> AliasResult:
+        STATS.count("aa.basic.queries")
+        key, pin_a, pin_b = self._memo.key_of(a, b)
+        cached = self._memo.lookup(key)
+        if cached is not None:
+            STATS.count("aa.basic.memo_hits")
+            return cached
+        result = self._alias_uncached(a, b)
+        self._memo.store(key, result, pin_a, pin_b)
+        return result
+
+    def _alias_uncached(self, a: Value, b: Value) -> AliasResult:
         a_stripped = strip_pointer_casts(a)
         b_stripped = strip_pointer_casts(b)
         if a_stripped is b_stripped:

@@ -33,8 +33,10 @@ from ..ir.instructions import (
 from ..ir.intrinsics import ALLOCATOR_INTRINSICS, INTRINSICS
 from ..ir.module import Function, Module
 from ..ir.values import Argument, GlobalVariable, Value
+from ..perf import STATS
 from .aa import (
     AliasAnalysis,
+    AliasMemo,
     AliasResult,
     BasicAliasAnalysis,
     ModRefResult,
@@ -75,7 +77,9 @@ class PointsToAnalysis:
         self._indirect_calls: list[Call] = []
         self._wired_call_targets: set[tuple[int, int]] = set()
         self._escaped: set[int] = set()
-        self._solve()
+        STATS.count("pointsto.solves")
+        with STATS.timer("pointsto.solve"):
+            self._solve()
 
     # -- public queries ----------------------------------------------------------
     def points_to(self, value: Value) -> set[MemoryObject]:
@@ -340,8 +344,20 @@ class AndersenAliasAnalysis(AliasAnalysis):
         self.module = module
         self.pointsto = PointsToAnalysis(module)
         self._basic = BasicAliasAnalysis()
+        self._memo = AliasMemo()
 
     def alias(self, a: Value, b: Value) -> AliasResult:
+        STATS.count("aa.andersen.queries")
+        key, pin_a, pin_b = self._memo.key_of(a, b)
+        cached = self._memo.lookup(key)
+        if cached is not None:
+            STATS.count("aa.andersen.memo_hits")
+            return cached
+        result = self._alias_uncached(a, b)
+        self._memo.store(key, result, pin_a, pin_b)
+        return result
+
+    def _alias_uncached(self, a: Value, b: Value) -> AliasResult:
         basic = self._basic.alias(a, b)
         if basic in (AliasResult.NO_ALIAS, AliasResult.MUST_ALIAS):
             return basic

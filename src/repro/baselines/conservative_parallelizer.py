@@ -88,7 +88,7 @@ class ConservativeParallelizer:
             try:
                 doall.parallelize(loop)
                 parallelized += 1
-                self._weak_noelle.invalidate()
+                self._weak_noelle.invalidate(fn)
             except ParallelizationError:
                 continue
         return parallelized

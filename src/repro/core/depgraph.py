@@ -195,12 +195,23 @@ class DependenceGraph(Generic[T]):
         Nodes outside the set that touch it are kept as *external* nodes —
         they are the region's live-ins/live-outs.
         """
+        return self._project(internal_values, self._edges)
+
+    def _project(
+        self, internal_values: list[T], edges: "list[DGEdge[T]]"
+    ) -> "DependenceGraph[T]":
+        """Project onto ``internal_values`` considering only ``edges``.
+
+        The caller guarantees ``edges`` contains every edge touching the
+        internal set (subclasses that shard their edge lists — the PDG —
+        use this to project without scanning unrelated shards).
+        """
         internal_ids = {id(v) for v in internal_values}
         result: DependenceGraph[T] = DependenceGraph()
         for value in internal_values:
             if id(value) in self._nodes:
                 result.add_node(value, internal=True)
-        for edge in self._edges:
+        for edge in edges:
             src_in = id(edge.src.value) in internal_ids
             dst_in = id(edge.dst.value) in internal_ids
             if not (src_in or dst_in):

@@ -9,6 +9,7 @@ preserving NOELLE's demand-driven promise even inside one loop object.
 from __future__ import annotations
 
 from ..analysis.loopinfo import NaturalLoop
+from ..perf import STATS
 from .induction import InductionVariableManager
 from .invariants import InvariantManager
 from .loopstructure import LoopStructure
@@ -32,7 +33,8 @@ class Loop:
     @property
     def dependence_graph(self) -> LoopDG:
         if self._ldg is None:
-            self._ldg = self.pdg.loop_dependence_graph(self._natural)
+            with STATS.timer("loop.build_ldg"):
+                self._ldg = self.pdg.loop_dependence_graph(self._natural)
         return self._ldg
 
     @property

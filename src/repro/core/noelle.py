@@ -188,8 +188,27 @@ class Noelle:
         return self._architecture
 
     # -- cache management ---------------------------------------------------------------
-    def invalidate(self) -> None:
-        """Drop every cached analysis after the module was transformed."""
+    def invalidate(self, fn: Function | None = None) -> None:
+        """Drop cached analyses after the module was transformed.
+
+        With ``fn`` given (the common case for the function-at-a-time
+        transforms: LICM, the parallelization outliners, Perspective),
+        only the state derived from that function's body is dropped: its
+        PDG shard, its loop info, and the module-level aggregates built
+        on top of them (the loop list, instruction IDs, the call graph —
+        outlining adds functions and calls).  The whole-module memory
+        analyses stay warm: Andersen points-to is flow-insensitive, so an
+        in-place rewrite of one function can only make its facts
+        conservative, never wrong — new values have no points-to
+        information and fall back to may-alias, and stale mod/ref
+        summaries remain supersets of the rewritten callee's effects.
+
+        With no ``fn`` (the conservative escape hatch, and the only
+        option after interprocedural rewrites that change what memory
+        *other* functions' code touches), everything is dropped.
+        """
+        if fn is not None and self._try_invalidate_function(fn):
+            return
         self._aa = None
         self._pdg = None
         self._callgraph = None
@@ -197,3 +216,21 @@ class Noelle:
         self._loopinfos = {}
         self._loops = None
         self._ids = None
+        self._dfe = None
+        self._env_builder = None
+
+    def _try_invalidate_function(self, fn: Function) -> bool:
+        """Per-function invalidation; False if a full drop is required."""
+        if self._pdg is not None:
+            if self._pdg.aa is None:
+                # A metadata-rehydrated PDG cannot rebuild a shard (no
+                # alias analysis attached): fall back to a full drop.
+                return False
+            self._pdg.invalidate_function(fn)
+        self._loopinfos.pop(id(fn), None)
+        self._loops = None
+        self._ids = None
+        self._callgraph = None
+        self._dfe = None
+        self._env_builder = None
+        return True

@@ -8,6 +8,27 @@ Instantiates the dependence-graph template with IR instructions.  Edges:
   (the strong Andersen AA by default — the SCAF/SVF stand-in);
 * **control dependences** — from the Ferrante–Ottenstein–Warren relation.
 
+The PDG is *function-sharded and demand-driven*: constructing one records
+nothing but the module and the alias analysis, and each function's
+dependence subgraph materializes the first time anything queries it
+(``function_dependence_graph``, ``loop_dependence_graph``, a scheduler
+walking ``dependences_of``, ...).  Whole-graph accessors (``edges()``,
+``num_nodes()``, the Figure 3 counters) materialize every shard, so an
+eagerly-consumed PDG is indistinguishable from the seed's eager build.
+Since no dependence edge crosses a function boundary (calls are
+summarized by mod/ref inside the caller), a shard can be dropped and
+rebuilt in isolation — `Noelle.invalidate(fn)` uses exactly that to make
+the transform→invalidate→re-query cycle pay for one function instead of
+the whole module.
+
+Within a shard, the all-pairs memory loop is pruned by partitioning the
+memory instructions into points-to *regions* (connected components of
+overlapping footprints): two instructions in different regions are
+provably disjoint under the configured AA, so their pair is never
+queried.  The Figure 3 counters keep paper-comparable semantics — every
+pruned pair that would have been queried is counted as queried *and*
+disproved, which is exactly what the alias analysis would have concluded.
+
 From the program PDG a pass can request *function* and *loop* dependence
 graphs.  Requesting a loop dependence graph triggers the loop-centric
 refinements the paper describes: loop-carried classification of register
@@ -17,38 +38,221 @@ live-in/live-out computation via internal/external nodes.
 
 from __future__ import annotations
 
-from ..analysis.aa import AliasAnalysis, AliasResult, ModRefResult
+from bisect import bisect_right
+from typing import Iterator
+
+from ..analysis.aa import (
+    AliasAnalysis,
+    AliasResult,
+    BasicAliasAnalysis,
+    ModRefResult,
+    is_identified_object,
+    underlying_object,
+)
 from ..analysis.controldep import ControlDependence
 from ..analysis.loopinfo import NaturalLoop
+from ..analysis.pointsto import AndersenAliasAnalysis
 from ..analysis.scev import SCEVAddRec, SCEVConstant, SCEVUnknown, ScalarEvolution
 from ..ir.instructions import Call, Instruction, Load, Phi, Store
 from ..ir.module import Function, Module
 from ..ir.values import Value
-from .depgraph import DependenceGraph, DGEdge
+from ..perf import STATS
+from .depgraph import DependenceGraph, DGEdge, DGNode
+
+
+class _Shard:
+    """One function's slice of the PDG: its nodes, edges, and counters."""
+
+    __slots__ = ("fn", "node_ids", "edges", "queries", "disproved")
+
+    def __init__(self, fn: Function):
+        self.fn = fn
+        self.node_ids: list[int] = []
+        self.edges: list[DGEdge[Instruction]] = []
+        self.queries = 0
+        self.disproved = 0
 
 
 class PDG(DependenceGraph[Instruction]):
-    """Program dependence graph over all instructions of a module."""
+    """Program dependence graph over all instructions of a module.
 
-    def __init__(self, module: Module, aa: AliasAnalysis):
+    A lazy container of per-function dependence shards; see the module
+    docstring for the materialization and invalidation contract.
+    ``partition=False`` disables the points-to pair pruning (the seed's
+    exact all-pairs loop) — used by the equivalence tests and benchmarks.
+    """
+
+    def __init__(self, module: Module, aa: AliasAnalysis,
+                 partition: bool = True, lazy: bool = True):
         super().__init__()
         self.module = module
         self.aa = aa
+        self.partition = partition
         #: Statistics used by the Figure 3 experiment: how many memory
         #: instruction pairs were queried and how many were disproved.
-        self.memory_queries = 0
-        self.memory_disproved = 0
-        for fn in module.defined_functions():
-            self._build_function(fn)
+        #: (Exposed as materializing properties below.)
+        self._memory_queries = 0
+        self._memory_disproved = 0
+        self._shards: dict[int, _Shard] = {}
+        self._materializing = False
+        if not lazy:
+            self.materialize()
+
+    # -- shard lifecycle ---------------------------------------------------------------
+    def materialize(self) -> None:
+        """Build every missing shard (the eager full-module build)."""
+        if self._materializing:
+            return
+        current = {id(fn) for fn in self.module.defined_functions()}
+        for stale_id in [fid for fid in self._shards if fid not in current]:
+            self.invalidate_function(self._shards[stale_id].fn)
+        for fn in self.module.defined_functions():
+            self._ensure_function(fn)
+
+    def _ensure_function(self, fn: Function | None) -> None:
+        if fn is None or self._materializing:
+            return
+        if id(fn) in self._shards or fn.is_declaration():
+            return
+        self._materializing = True
+        try:
+            STATS.count("pdg.shard_builds")
+            with STATS.timer("pdg.build_shard"):
+                self._build_function(fn)
+        finally:
+            self._materializing = False
+
+    def _ensure_value(self, value) -> None:
+        if isinstance(value, Instruction):
+            self._ensure_function(_function_of(value))
+
+    def invalidate_function(self, fn: Function) -> bool:
+        """Drop ``fn``'s shard (rebuilt on next query); False if absent."""
+        shard = self._shards.pop(id(fn), None)
+        if shard is None:
+            return False
+        STATS.count("pdg.shard_invalidations")
+        for node_id in shard.node_ids:
+            self._nodes.pop(node_id, None)
+        if shard.edges:
+            dropped = {id(e) for e in shard.edges}
+            self._edges = [e for e in self._edges if id(e) not in dropped]
+        self._memory_queries -= shard.queries
+        self._memory_disproved -= shard.disproved
+        return True
+
+    def built_functions(self) -> list[Function]:
+        """Functions whose shard is currently materialized."""
+        return [shard.fn for shard in self._shards.values()]
+
+    # -- Figure 3 counters -------------------------------------------------------------
+    @property
+    def memory_queries(self) -> int:
+        self.materialize()
+        return self._memory_queries
+
+    @memory_queries.setter
+    def memory_queries(self, value: int) -> None:
+        self._memory_queries = value
+
+    @property
+    def memory_disproved(self) -> int:
+        self.materialize()
+        return self._memory_disproved
+
+    @memory_disproved.setter
+    def memory_disproved(self, value: int) -> None:
+        self._memory_disproved = value
+
+    # -- materializing accessors ---------------------------------------------------------
+    # Whole-graph views build every shard first; per-value views build only
+    # the owning function's shard.
+    def nodes(self) -> Iterator[DGNode[Instruction]]:
+        self.materialize()
+        return super().nodes()
+
+    def internal_nodes(self) -> list[DGNode[Instruction]]:
+        self.materialize()
+        return super().internal_nodes()
+
+    def external_nodes(self) -> list[DGNode[Instruction]]:
+        self.materialize()
+        return super().external_nodes()
+
+    def num_nodes(self) -> int:
+        self.materialize()
+        return super().num_nodes()
+
+    def edges(self) -> list[DGEdge[Instruction]]:
+        self.materialize()
+        return super().edges()
+
+    def num_edges(self) -> int:
+        self.materialize()
+        return super().num_edges()
+
+    def node_of(self, value) -> DGNode[Instruction] | None:
+        self._ensure_value(value)
+        return super().node_of(value)
+
+    def has_node(self, value) -> bool:
+        self._ensure_value(value)
+        return super().has_node(value)
+
+    def dependences_of(self, value) -> list[DGEdge[Instruction]]:
+        self._ensure_value(value)
+        return super().dependences_of(value)
+
+    def dependents_of(self, value) -> list[DGEdge[Instruction]]:
+        self._ensure_value(value)
+        return super().dependents_of(value)
+
+    def edges_between(self, src, dst) -> list[DGEdge[Instruction]]:
+        self._ensure_value(src)
+        self._ensure_value(dst)
+        return super().edges_between(src, dst)
+
+    def subgraph(self, internal_values: list[Instruction]) -> DependenceGraph[Instruction]:
+        """Project onto ``internal_values``, touching only their shards.
+
+        Dependence edges never cross functions, so the projection only
+        needs the shards owning the internal values — untouched functions
+        are neither built nor scanned.
+        """
+        fns: list[Function] = []
+        for value in internal_values:
+            fn = _function_of(value) if isinstance(value, Instruction) else None
+            if fn is None:
+                # A detached value: fall back to the full-graph projection.
+                self.materialize()
+                return super().subgraph(internal_values)
+            if fn not in fns:
+                fns.append(fn)
+        edges: list[DGEdge[Instruction]] = []
+        for fn in fns:
+            self._ensure_function(fn)
+            shard = self._shards.get(id(fn))
+            if shard is not None:
+                edges.extend(shard.edges)
+        return self._project(internal_values, edges)
 
     # -- construction ------------------------------------------------------------
     def _build_function(self, fn: Function) -> None:
+        shard = _Shard(fn)
+        self._shards[id(fn)] = shard
+        queries_before = self._memory_queries
+        disproved_before = self._memory_disproved
+        edges_before = len(self._edges)
         instructions = list(fn.instructions())
         for inst in instructions:
             self.add_node(inst, internal=True)
+        shard.node_ids = [id(inst) for inst in instructions]
         self._add_register_dependences(instructions)
         self._add_memory_dependences(instructions)
         self._add_control_dependences(fn)
+        shard.edges = self._edges[edges_before:]
+        shard.queries = self._memory_queries - queries_before
+        shard.disproved = self._memory_disproved - disproved_before
 
     def _add_register_dependences(self, instructions: list[Instruction]) -> None:
         for inst in instructions:
@@ -60,24 +264,139 @@ class PDG(DependenceGraph[Instruction]):
 
     def _add_memory_dependences(self, instructions: list[Instruction]) -> None:
         memory_insts = [i for i in instructions if i.touches_memory()]
-        for i, earlier in enumerate(memory_insts):
-            for later in memory_insts[i + 1 :]:
-                self._memory_pair(earlier, later)
+        total = len(memory_insts)
+        if total < 2:
+            return
+        # Classify each instruction once (read/write flags are reused for
+        # every pair it participates in).
+        reads = [i.may_read_memory() for i in memory_insts]
+        writes = [i.may_write_memory() for i in memory_insts]
+        regions = (
+            self._partition_regions(memory_insts)
+            if self.partition
+            else [None] * total
+        )
+        groups: dict[int, list[int]] = {}
+        wildcard: list[int] = []
+        for index, region in enumerate(regions):
+            if region is None:
+                wildcard.append(index)
+            else:
+                groups.setdefault(region, []).append(index)
+        self._count_pruned_pairs(groups, writes)
+        # Enumerate the surviving pairs in the seed's program order: an
+        # instruction pairs with later members of its own region and with
+        # later wildcards (calls and untracked pointers overlap anything).
+        for i in range(total):
+            region = regions[i]
+            if region is None:
+                later: Iterator[int] = iter(range(i + 1, total))
+            else:
+                later = _merged_after(groups[region], wildcard, i)
+            for j in later:
+                self._memory_pair(
+                    memory_insts[i], memory_insts[j],
+                    reads[i], writes[i], reads[j], writes[j],
+                )
 
-    def _memory_pair(self, a: Instruction, b: Instruction) -> None:
+    def _count_pruned_pairs(
+        self, groups: dict[int, list[int]], writes: list[bool]
+    ) -> None:
+        """Account for cross-region pairs that are never enumerated.
+
+        Each such pair is provably NO_ALIAS under the configured AA, so
+        the seed's loop would have counted it as queried and disproved
+        (when at least one side writes) — keep those semantics exactly.
+        """
+        if len(groups) < 2:
+            return
+        sum_n = sum_n2 = sum_ro = sum_ro2 = 0
+        for members in groups.values():
+            n = len(members)
+            read_only = sum(1 for index in members if not writes[index])
+            sum_n += n
+            sum_n2 += n * n
+            sum_ro += read_only
+            sum_ro2 += read_only * read_only
+        cross_pairs = (sum_n * sum_n - sum_n2) // 2
+        cross_read_only = (sum_ro * sum_ro - sum_ro2) // 2
+        pruned = cross_pairs - cross_read_only
+        self._memory_queries += pruned
+        self._memory_disproved += pruned
+        STATS.count("pdg.pairs_pruned", cross_pairs)
+
+    def _partition_regions(self, memory_insts: list[Instruction]) -> list[int | None]:
+        """Union overlapping memory footprints into region labels.
+
+        Returns one label per instruction; ``None`` marks a wildcard (a
+        call, or a pointer the AA has no footprint for) that must be
+        paired against everything.  Two instructions with different
+        (non-None) labels have provably disjoint footprints under
+        ``self.aa``.
+        """
+        footprints = [self._footprint(inst) for inst in memory_insts]
+        parent: dict[int, int] = {}
+
+        def find(x: int) -> int:
+            root = x
+            while parent.setdefault(root, root) != root:
+                root = parent[root]
+            while parent[x] != root:  # path compression
+                parent[x], x = root, parent[x]
+            return root
+
+        for footprint in footprints:
+            if footprint:
+                first = footprint[0]
+                for obj_id in footprint[1:]:
+                    parent[find(obj_id)] = find(first)
+        return [find(fp[0]) if fp else None for fp in footprints]
+
+    def _footprint(self, inst: Instruction) -> list[int] | None:
+        """Object ids the instruction may touch; None when unbounded.
+
+        Only the two known AA implementations are partitioned — for any
+        other ``AliasAnalysis`` everything stays wildcard so no pair is
+        pruned that the analysis might not have disproved.
+        """
+        pointer = _pointer_operand(inst)
+        if pointer is None:
+            return None  # calls: mod/ref reasoning happens per pair
+        aa = self.aa
+        if type(aa) is AndersenAliasAnalysis:
+            pts = aa.pointsto.points_to(pointer)
+            if not pts or aa.pointsto.unknown in pts:
+                return None
+            return [id(obj) for obj in pts]
+        if type(aa) is BasicAliasAnalysis:
+            obj = underlying_object(pointer)
+            if is_identified_object(obj):
+                return [id(obj)]
+            return None
+        return None
+
+    def _memory_pair(
+        self,
+        a: Instruction,
+        b: Instruction,
+        reads_a: bool,
+        writes_a: bool,
+        reads_b: bool,
+        writes_b: bool,
+    ) -> None:
         """Add memory dependence edges between an instruction pair.
 
         The pair is unordered in program terms (they may execute in either
         order across loop iterations), so both directions are considered.
+        The read/write flags are classified once per instruction by the
+        partitioning pass and passed in.
         """
-        writes_a, writes_b = a.may_write_memory(), b.may_write_memory()
-        reads_a, reads_b = a.may_read_memory(), b.may_read_memory()
         if not writes_a and not writes_b:
             return  # read-read pairs carry no dependence
-        self.memory_queries += 1
+        self._memory_queries += 1
         result = self._query(a, b)
         if result is None:
-            self.memory_disproved += 1
+            self._memory_disproved += 1
             return
         is_must = result
         if writes_a and reads_b:
@@ -121,14 +440,80 @@ class PDG(DependenceGraph[Instruction]):
                 for inst in block.instructions:
                     self.add_edge(term, inst, "control")
 
+    # -- rehydration -------------------------------------------------------------------
+    @classmethod
+    def from_serialized(
+        cls,
+        module: Module,
+        edges: list[tuple],
+        instruction_by_id,
+        stats: dict,
+    ) -> "PDG":
+        """Rebuild a PDG from ``noelle-meta-pdg-embed`` metadata.
+
+        The result carries no alias analysis (``aa is None``): every shard
+        is registered as already built, and `Noelle.invalidate` falls back
+        to dropping the whole graph since a shard cannot be recomputed.
+        """
+        pdg = cls.__new__(cls)
+        DependenceGraph.__init__(pdg)
+        pdg.module = module
+        pdg.aa = None
+        pdg.partition = True
+        pdg._materializing = False
+        pdg._memory_queries = stats.get("memory_queries", 0)
+        pdg._memory_disproved = stats.get("memory_disproved", 0)
+        pdg._shards = {}
+        for fn in module.defined_functions():
+            shard = _Shard(fn)
+            pdg._shards[id(fn)] = shard
+            for inst in fn.instructions():
+                pdg.add_node(inst, internal=True)
+                shard.node_ids.append(id(inst))
+        for src_id, dst_id, kind, data_kind, is_memory, is_must in edges:
+            src = instruction_by_id(src_id)
+            dst = instruction_by_id(dst_id)
+            edge = pdg.add_edge(src, dst, kind, data_kind, is_memory, is_must)
+            owner = pdg._shards.get(id(_function_of(src)))
+            if owner is not None:
+                owner.edges.append(edge)
+        return pdg
+
     # -- derived graphs --------------------------------------------------------------
     def function_dependence_graph(self, fn: Function) -> DependenceGraph[Instruction]:
         """Dependences restricted to ``fn``; externals are its boundary."""
+        self._ensure_function(fn)
         return self.subgraph(list(fn.instructions()))
 
     def loop_dependence_graph(self, loop: NaturalLoop) -> "LoopDG":
         """The loop's dependence graph, refined with loop-carried analysis."""
+        self._ensure_function(loop.header.parent)
         return LoopDG(self, loop)
+
+
+def _function_of(inst: Instruction) -> Function | None:
+    block = getattr(inst, "parent", None)
+    return block.parent if block is not None else None
+
+
+def _merged_after(a: list[int], b: list[int], threshold: int) -> Iterator[int]:
+    """Yield the ascending merge of two sorted lists, keeping > threshold."""
+    ia = bisect_right(a, threshold)
+    ib = bisect_right(b, threshold)
+    len_a, len_b = len(a), len(b)
+    while ia < len_a and ib < len_b:
+        if a[ia] <= b[ib]:
+            yield a[ia]
+            ia += 1
+        else:
+            yield b[ib]
+            ib += 1
+    while ia < len_a:
+        yield a[ia]
+        ia += 1
+    while ib < len_b:
+        yield b[ib]
+        ib += 1
 
 
 class LoopDG(DependenceGraph[Instruction]):
@@ -328,8 +713,6 @@ def _pointer_operand(inst: Instruction) -> Value | None:
 
 def _calls_independent(aa: AliasAnalysis, a: Call, b: Call) -> bool:
     """True when two calls provably touch disjoint memory (or none)."""
-    from ..analysis.pointsto import AndersenAliasAnalysis
-
     if not isinstance(aa, AndersenAliasAnalysis):
         return False
     effects = aa._effects()

@@ -19,6 +19,7 @@ from typing import Iterator
 
 from ..analysis.loopinfo import NaturalLoop
 from ..ir.instructions import Instruction
+from ..perf import STATS
 from .depgraph import DependenceGraph, DGEdge
 from .pdg import LoopDG
 from .reduction import ReductionDescriptor, match_reduction
@@ -71,8 +72,9 @@ class SCCDAG(DependenceGraph[SCC]):
         self.loop = loop or loop_dg.loop
         self.sccs: list[SCC] = []
         self._scc_of: dict[int, SCC] = {}
-        self._condense()
-        self._classify()
+        with STATS.timer("sccdag.build"):
+            self._condense()
+            self._classify()
 
     # -- condensation ---------------------------------------------------------------
     def _condense(self) -> None:

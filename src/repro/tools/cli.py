@@ -21,6 +21,7 @@ import sys
 from ..core.noelle import Noelle
 from ..core.profiler import Profiler
 from ..ir import Module, parse_module, print_module, verify_module
+from ..perf import STATS, stats_enabled
 from ..runtime.machine import ParallelMachine
 from .pipeline import make_binary, prof_coverage
 from .rm_lc_dependences import remove_loop_carried_dependences
@@ -162,6 +163,12 @@ def build_parser() -> argparse.ArgumentParser:
         prog="repro-noelle",
         description="The noelle-* tool chain of the NOELLE reproduction.",
     )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print analysis perf counters/timers to stderr when done "
+        "(equivalent to NOELLE_STATS=1)",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
 
     whole = sub.add_parser("whole-ir", help="compile+link sources into one IR file")
@@ -207,7 +214,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.func(args)
+    status = args.func(args)
+    if args.stats and not stats_enabled():
+        # NOELLE_STATS=1 already reports via atexit; avoid printing twice.
+        STATS.report()
+    return status
 
 
 if __name__ == "__main__":

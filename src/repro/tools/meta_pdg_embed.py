@@ -53,24 +53,8 @@ def load_embedded_pdg(module: Module) -> PDG | None:
     if serialized is None:
         return None
     ids = IDAssigner(module)
-    pdg = PDG.__new__(PDG)
-    # Initialize the graph without running any analysis.
-    from ..core.depgraph import DependenceGraph
-
-    DependenceGraph.__init__(pdg)
-    pdg.module = module
-    pdg.aa = None
     stats = module.metadata.get(PDG_STATS_KEY, {})
-    pdg.memory_queries = stats.get("memory_queries", 0)
-    pdg.memory_disproved = stats.get("memory_disproved", 0)
-    for fn in module.defined_functions():
-        for inst in fn.instructions():
-            pdg.add_node(inst, internal=True)
-    for src_id, dst_id, kind, data_kind, is_memory, is_must in serialized:
-        src = ids.instruction_by_id(src_id)
-        dst = ids.instruction_by_id(dst_id)
-        pdg.add_edge(src, dst, kind, data_kind, is_memory, is_must)
-    return pdg
+    return PDG.from_serialized(module, serialized, ids.instruction_by_id, stats)
 
 
 def has_embedded_pdg(module: Module) -> bool:

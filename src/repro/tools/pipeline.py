@@ -20,6 +20,7 @@ from ..core.noelle import Noelle
 from ..core.profiler import ProfileData, Profiler, embed_profile
 from ..interp.interp import ExecutionResult
 from ..ir import Module, link_modules, verify_module
+from ..perf import STATS
 from ..runtime.machine import ParallelMachine
 from .meta_pdg_embed import embed_pdg, load_embedded_pdg
 from .rm_lc_dependences import remove_loop_carried_dependences
@@ -136,17 +137,22 @@ def helix_pipeline(
     from ..xforms.helix import HELIX
     from .whole_ir import whole_ir_from_sources
 
-    module = whole_ir_from_sources(sources)
-    profile = prof_coverage(module, training_args)
-    meta_prof_embed(module, profile)
-    noelle = Noelle(module, profile=profile)
-    remove_loop_carried_dependences(noelle)
-    meta_clean(module)
-    profile = prof_coverage(module, training_args)
-    meta_prof_embed(module, profile)
-    embed_pdg(module)
-    architecture = measure_architecture(num_cores)
-    noelle = load(module, architecture, profile, minimum_hotness)
-    HELIX(noelle, num_cores).run(minimum_hotness)
-    verify_module(module)
+    with STATS.timer("pipeline.helix"):
+        module = whole_ir_from_sources(sources)
+        with STATS.timer("pipeline.profile"):
+            profile = prof_coverage(module, training_args)
+        meta_prof_embed(module, profile)
+        noelle = Noelle(module, profile=profile)
+        remove_loop_carried_dependences(noelle)
+        meta_clean(module)
+        with STATS.timer("pipeline.profile"):
+            profile = prof_coverage(module, training_args)
+        meta_prof_embed(module, profile)
+        with STATS.timer("pipeline.pdg_embed"):
+            embed_pdg(module)
+        architecture = measure_architecture(num_cores)
+        noelle = load(module, architecture, profile, minimum_hotness)
+        with STATS.timer("pipeline.transform"):
+            HELIX(noelle, num_cores).run(minimum_hotness)
+        verify_module(module)
     return module

@@ -22,18 +22,21 @@ def remove_loop_carried_dependences(noelle: Noelle) -> int:
     """Run the enabling transformations module-wide; returns rewrites."""
     promoted = 0
     for fn in list(noelle.module.defined_functions()):
+        fn_promoted = 0
         changed = True
         while changed:
             changed = False
             info = LoopInfo(fn)
             for loop in info.loops():
                 if _promote_scalar_cell(noelle, fn, loop):
-                    promoted += 1
+                    fn_promoted += 1
                     changed = True
                     break  # loop info is stale
-        noelle._loopinfos.pop(id(fn), None)
-    if promoted:
-        noelle.invalidate()
+        if fn_promoted:
+            # Promotion rewrote only this function: drop its shard and
+            # loop info, keep the whole-module analyses warm.
+            noelle.invalidate(fn)
+            promoted += fn_promoted
     return promoted
 
 

@@ -111,7 +111,6 @@ class DOALL:
             total += changed
             if not changed:
                 break
-            self.noelle.invalidate()
             if only_loop_id is not None:
                 break  # surgical mode transforms at most one loop
         return total
@@ -149,6 +148,9 @@ class DOALL:
             if not self.can_parallelize(loop):
                 continue
             self.parallelize(loop)
+            # Outlining rewrote only this function (plus fresh task code):
+            # drop its shard and the aggregates, keep points-to warm.
+            self.noelle.invalidate(fn)
             transformed_functions.add(id(fn))
             parallelized += 1
         return parallelized

@@ -374,7 +374,6 @@ class DSWP:
             total += changed
             if not changed:
                 break
-            self.noelle.invalidate()
             if only_loop_id is not None:
                 break  # surgical mode transforms at most one loop
         return total
@@ -410,6 +409,9 @@ class DSWP:
             if not self.can_parallelize(loop):
                 continue
             self.parallelize(loop)
+            # Outlining rewrote only this function (plus fresh stage code):
+            # drop its shard and the aggregates, keep points-to warm.
+            self.noelle.invalidate(fn)
             transformed.add(id(fn))
             parallelized += 1
         return parallelized

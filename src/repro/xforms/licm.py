@@ -46,8 +46,9 @@ class LICM:
                     hoisted += 1
                     changed = True
             if changed:
-                self.noelle.invalidate()
-                self.noelle._loopinfos = {}
+                # Hoisting rewrites only this function: drop its PDG shard
+                # and loop info, keep the whole-module analyses warm.
+                self.noelle.invalidate(fn)
         return hoisted
 
     def _hoistable(self, loop) -> list[Instruction]:

@@ -194,10 +194,12 @@ class Perspective:
                 if not self.expected_benefit(loop, self.noelle.profile()):
                     continue
                 self.parallelize(loop)
+                # Only this function changed: per-function invalidation
+                # keeps points-to and untouched shards warm for the rescan.
+                self.noelle.invalidate(fn)
                 changed += 1
                 break  # analyses stale: restart the scan
             total += changed
             if not changed:
                 break
-            self.noelle.invalidate()
         return total

@@ -1,0 +1,187 @@
+"""Sharded-PDG semantics: laziness, pruning, and per-function invalidation.
+
+Three guarantees the performance work must not bend:
+
+* a lazily-sharded PDG is edge-for-edge identical to the eager full
+  build, with and without the points-to pair pruning;
+* the Figure 3 counters (memory pairs queried/disproved) are unchanged
+  by pruning — pruned pairs count as queried-and-disproved;
+* ``Noelle.invalidate(fn)`` rebuilds only the mutated function's shard
+  and keeps the whole-module analyses warm.
+"""
+
+from collections import Counter
+
+import pytest
+
+from repro import ir
+from repro.analysis.aa import BasicAliasAnalysis
+from repro.analysis.pointsto import AndersenAliasAnalysis
+from repro.core.noelle import Noelle
+from repro.core.pdg import PDG
+from repro.perf import STATS
+from repro.tools.meta_pdg_embed import embed_pdg, load_embedded_pdg
+from repro.workloads import all_workloads
+
+
+def edge_multiset(pdg):
+    """A comparable multiset of the PDG's edges, keyed by instruction id."""
+    return Counter(
+        (
+            id(edge.src.value),
+            id(edge.dst.value),
+            edge.kind,
+            edge.data_kind,
+            edge.is_memory,
+            edge.is_must,
+        )
+        for edge in pdg.edges()
+    )
+
+
+def insert_dead_add(fn) -> ir.Instruction:
+    """Mutate ``fn`` in place: a dead add before the entry terminator."""
+    block = fn.blocks[0]
+    inst = ir.BinaryOp("add", ir.const_int(1), ir.const_int(2), "dead")
+    inst.parent = block
+    block.instructions.insert(len(block.instructions) - 1, inst)
+    fn.assign_name(inst)
+    return inst
+
+
+def two_function_module():
+    """Two independent memory-touching functions in one module."""
+    module = ir.Module("twofn")
+    for name in ("first", "second"):
+        fn = module.add_function(name, ir.FunctionType(ir.I64, []), [])
+        builder, _entry = ir.build_function(fn)
+        cell = builder.alloca(ir.I64, f"{name}.cell")
+        builder.store(ir.const_int(7), cell)
+        loaded = builder.load(cell, f"{name}.val")
+        builder.ret(loaded)
+    ir.verify_module(module)
+    return module
+
+
+# -- lazy/eager and pruned/unpruned equivalence ---------------------------------------
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+def test_lazy_sharded_pdg_matches_eager_build(workload):
+    module = workload.compile()
+    aa = AndersenAliasAnalysis(module)
+    eager = PDG(module, aa, lazy=False)
+    lazy = PDG(module, aa)
+    # Drive the lazy graph the way tools do: one function at a time.
+    for fn in module.defined_functions():
+        lazy.function_dependence_graph(fn)
+    assert edge_multiset(lazy) == edge_multiset(eager)
+    assert lazy.num_nodes() == eager.num_nodes()
+    assert lazy.memory_queries == eager.memory_queries
+    assert lazy.memory_disproved == eager.memory_disproved
+
+
+@pytest.mark.parametrize("workload", all_workloads(), ids=lambda w: w.name)
+@pytest.mark.parametrize("aa_factory", [
+    pytest.param(lambda m: BasicAliasAnalysis(), id="basic"),
+    pytest.param(lambda m: AndersenAliasAnalysis(m), id="andersen"),
+])
+def test_partition_pruning_preserves_edges_and_fig3_counters(workload, aa_factory):
+    module = workload.compile()
+    aa = aa_factory(module)
+    pruned = PDG(module, aa, partition=True)
+    exact = PDG(module, aa, partition=False)
+    assert edge_multiset(pruned) == edge_multiset(exact)
+    # Figure 3 semantics: every pruned pair still counts as one query
+    # that the alias analysis disproved.
+    assert pruned.memory_queries == exact.memory_queries
+    assert pruned.memory_disproved == exact.memory_disproved
+
+
+# -- per-function invalidation --------------------------------------------------------
+
+
+def test_invalidate_fn_rebuilds_only_the_mutated_shard():
+    noelle = Noelle(two_function_module())
+    pdg = noelle.pdg()
+    pdg.materialize()
+    first, second = list(noelle.module.defined_functions())
+
+    builds_before = STATS.get("pdg.shard_builds")
+    insert_dead_add(first)
+    noelle.invalidate(first)
+    assert noelle.pdg() is pdg  # the graph container survives
+    pdg.materialize()
+    assert STATS.get("pdg.shard_builds") - builds_before == 1
+
+    # The untouched function's shard never left the graph.
+    assert {fn.name for fn in pdg.built_functions()} == {"first", "second"}
+    node_names = {node.value.name for node in pdg.nodes() if node.value.name}
+    assert "dead" in node_names
+
+
+def test_invalidate_fn_keeps_whole_module_analyses_warm():
+    noelle = Noelle(two_function_module())
+    aa = noelle.alias_analysis()
+    pointsto = noelle.points_to()
+    noelle.pdg().materialize()
+    first = next(iter(noelle.module.defined_functions()))
+
+    insert_dead_add(first)
+    noelle.invalidate(first)
+    assert noelle.alias_analysis() is aa
+    assert noelle.points_to() is pointsto
+
+    # The full drop is still available as the conservative escape hatch.
+    noelle.invalidate()
+    assert noelle.alias_analysis() is not aa
+
+
+def test_invalidate_fn_matches_fresh_build_after_mutation():
+    module = two_function_module()
+    noelle = Noelle(module)
+    pdg = noelle.pdg()
+    pdg.materialize()
+    first = next(iter(module.defined_functions()))
+
+    insert_dead_add(first)
+    noelle.invalidate(first)
+    rebuilt = noelle.pdg()
+    fresh = PDG(module, AndersenAliasAnalysis(module), lazy=False)
+    assert edge_multiset(rebuilt) == edge_multiset(fresh)
+    assert rebuilt.memory_queries == fresh.memory_queries
+    assert rebuilt.memory_disproved == fresh.memory_disproved
+
+
+def test_invalidate_resets_dataflow_engine_and_environment_builder():
+    # Regression: these two caches used to survive a full invalidation.
+    noelle = Noelle(two_function_module())
+    dfe = noelle.dataflow_engine()
+    env = noelle.environment_builder()
+    noelle.invalidate()
+    assert noelle._dfe is None
+    assert noelle._env_builder is None
+    assert noelle.dataflow_engine() is not dfe
+    assert noelle.environment_builder() is not env
+
+
+def test_embedded_pdg_falls_back_to_full_invalidation():
+    # A metadata-rehydrated PDG has no alias analysis to rebuild a shard
+    # with, so per-function invalidation must degrade to the full drop.
+    module = two_function_module()
+    embed_pdg(module)
+    noelle = Noelle(module)
+    noelle._pdg = load_embedded_pdg(module)
+    assert noelle._pdg is not None and noelle._pdg.aa is None
+    first = next(iter(module.defined_functions()))
+    noelle.invalidate(first)
+    assert noelle._pdg is None
+
+
+def test_embedded_pdg_round_trips_through_shards():
+    module = two_function_module()
+    original = embed_pdg(module)
+    loaded = load_embedded_pdg(module)
+    assert edge_multiset(loaded) == edge_multiset(original)
+    assert loaded.memory_queries == original.memory_queries
+    assert loaded.memory_disproved == original.memory_disproved
