@@ -21,6 +21,7 @@ from ..ir.intrinsics import ALLOCATOR_INTRINSICS, INTRINSICS, PURE_INTRINSICS
 from ..ir.module import Function
 from ..ir.values import Argument, ConstantInt, ConstantNull, GlobalVariable, Value
 from ..perf import STATS
+from ..robust.faults import checkpoint as _fault_checkpoint
 
 
 class AliasResult(enum.Enum):
@@ -175,6 +176,7 @@ class BasicAliasAnalysis(AliasAnalysis):
         self._memo = AliasMemo()
 
     def alias(self, a: Value, b: Value) -> AliasResult:
+        _fault_checkpoint("alias_query")
         STATS.count("aa.basic.queries")
         key, pin_a, pin_b = self._memo.key_of(a, b)
         cached = self._memo.lookup(key)

@@ -34,6 +34,7 @@ from ..ir.intrinsics import ALLOCATOR_INTRINSICS, INTRINSICS
 from ..ir.module import Function, Module
 from ..ir.values import Argument, GlobalVariable, Value
 from ..perf import STATS
+from ..robust.faults import checkpoint as _fault_checkpoint
 from .aa import (
     AliasAnalysis,
     AliasMemo,
@@ -347,6 +348,7 @@ class AndersenAliasAnalysis(AliasAnalysis):
         self._memo = AliasMemo()
 
     def alias(self, a: Value, b: Value) -> AliasResult:
+        _fault_checkpoint("alias_query")
         STATS.count("aa.andersen.queries")
         key, pin_a, pin_b = self._memo.key_of(a, b)
         cached = self._memo.lookup(key)

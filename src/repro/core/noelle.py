@@ -76,6 +76,19 @@ class Noelle:
             self._pdg = PDG(self.module, self.alias_analysis())
         return self._pdg
 
+    def adopt_pdg(self, pdg: PDG) -> None:
+        """Install an externally produced PDG (e.g. rehydrated from the
+        metadata embedded by ``noelle-meta-pdg-embed``) as the cached one.
+
+        Also drops the caches *derived from* the previous PDG — the loop
+        list holds :class:`Loop` objects that capture the PDG they were
+        built against — so stale dependence facts cannot leak through a
+        swap (the same trap the ``invalidate()`` fix closed for ``_dfe``
+        and ``_env_builder``).
+        """
+        self._pdg = pdg
+        self._loops = None
+
     def call_graph(self) -> CallGraph:
         if self._callgraph is None:
             self._callgraph = CallGraph(self.module, self.points_to())

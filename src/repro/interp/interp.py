@@ -280,6 +280,22 @@ class ExecutionResult:
         self.parallel_executions: list = []
 
 
+#: Process-wide cap applied to every new interpreter's step limit.  The
+#: transactional pass manager sets this around a pass so any interpreter
+#: the pass spins up (profilers, remedy validators) is budgeted and fails
+#: with the ordinary :class:`StepLimitExceeded` the manager rolls back on.
+_STEP_BUDGET: int | None = None
+
+
+def set_step_budget(limit: int | None) -> int | None:
+    """Install a step cap for newly created interpreters; returns the
+    previous cap so callers can restore it."""
+    global _STEP_BUDGET
+    previous = _STEP_BUDGET
+    _STEP_BUDGET = limit
+    return previous
+
+
 class Interpreter:
     """Executes one module."""
 
@@ -291,6 +307,8 @@ class Interpreter:
     ):
         self.module = module
         self.step_limit = step_limit
+        if _STEP_BUDGET is not None and _STEP_BUDGET < self.step_limit:
+            self.step_limit = _STEP_BUDGET
         self.costs = dict(INSTRUCTION_COSTS)
         if cost_model:
             self.costs.update(cost_model)

@@ -36,6 +36,7 @@ from .instructions import (
 )
 from .module import BasicBlock, Function, Module
 from .values import Argument, Constant, Value
+from ..robust.faults import checkpoint as _fault_checkpoint
 
 
 class VerificationError(Exception):
@@ -44,6 +45,7 @@ class VerificationError(Exception):
 
 def verify_module(module: Module) -> None:
     """Verify every function of ``module``; raise on the first violation."""
+    _fault_checkpoint("verify")
     for fn in module.functions.values():
         if not fn.is_declaration():
             verify_function(fn)

@@ -1,0 +1,167 @@
+"""Structured failure records and crash bundles.
+
+When a transaction rolls back, the pass manager captures everything a
+developer needs to replay the failure offline — the same philosophy as
+MLIR's crash reproducers: the pre-pass IR, the pass that died, a
+structured error record, and the fault-injection spec (so seeded CI
+failures are one command away from a local repro).
+
+This module is stdlib-only on purpose; see ``faults.py`` for why the
+``repro.robust`` package must not import the rest of the repository at
+module scope.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import traceback
+from pathlib import Path
+
+
+class EntryNotFoundError(LookupError):
+    """``noelle-bin`` was asked to run an entry point the module lacks."""
+
+    def __init__(self, entry: str, available: list[str]):
+        names = ", ".join(f"@{name}" for name in available) or "<none>"
+        super().__init__(
+            f"no defined function @{entry} to run; "
+            f"available entry points: {names}"
+        )
+        self.entry = entry
+        self.available = list(available)
+
+
+class TransformError:
+    """Structured record of one failed (and rolled-back) transaction."""
+
+    def __init__(
+        self,
+        pass_name: str,
+        phase: str,
+        kind: str,
+        message: str,
+        traceback_text: str = "",
+        fault: str | None = None,
+        seconds: float = 0.0,
+    ):
+        self.pass_name = pass_name
+        #: Which transaction step failed: "snapshot" | "run" | "verify".
+        self.phase = phase
+        #: Exception class name (e.g. "InjectedFault", "VerificationError").
+        self.kind = kind
+        self.message = message
+        self.traceback = traceback_text
+        #: The armed fault plan's spec (injection seed), if any was armed.
+        self.fault = fault
+        self.seconds = seconds
+
+    @classmethod
+    def from_exception(
+        cls,
+        pass_name: str,
+        phase: str,
+        error: BaseException,
+        fault: str | None = None,
+        seconds: float = 0.0,
+    ) -> "TransformError":
+        text = "".join(
+            traceback.format_exception(type(error), error, error.__traceback__)
+        )
+        return cls(
+            pass_name,
+            phase,
+            type(error).__name__,
+            str(error),
+            traceback_text=text,
+            fault=fault,
+            seconds=seconds,
+        )
+
+    def to_dict(self) -> dict:
+        return {
+            "pass": self.pass_name,
+            "phase": self.phase,
+            "kind": self.kind,
+            "message": self.message,
+            "fault": self.fault,
+            "seconds": self.seconds,
+            "traceback": self.traceback,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TransformError":
+        return cls(
+            data["pass"],
+            data["phase"],
+            data["kind"],
+            data["message"],
+            traceback_text=data.get("traceback", ""),
+            fault=data.get("fault"),
+            seconds=data.get("seconds", 0.0),
+        )
+
+    def __str__(self) -> str:
+        return (
+            f"pass {self.pass_name!r} failed during {self.phase}: "
+            f"{self.kind}: {self.message}"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<TransformError {self}>"
+
+
+#: Bundle directory layout.
+MODULE_FILE = "module.ir"
+REPORT_FILE = "report.json"
+
+
+def _slug(name: str) -> str:
+    return re.sub(r"[^A-Za-z0-9_.-]+", "-", name) or "pass"
+
+
+class CrashBundle:
+    """Everything needed to reproduce one rolled-back transaction offline."""
+
+    def __init__(
+        self, index: int, pass_name: str, ir_text: str, error: TransformError
+    ):
+        self.index = index
+        self.pass_name = pass_name
+        #: The pre-pass module, exactly as it was restored (byte-identical).
+        self.ir_text = ir_text
+        self.error = error
+        #: Filled in by :meth:`write`.
+        self.path: Path | None = None
+
+    def write(self, crash_dir) -> Path:
+        """Persist as ``<crash_dir>/<index>-<pass>/{module.ir,report.json}``."""
+        directory = Path(crash_dir) / f"{self.index:03d}-{_slug(self.pass_name)}"
+        directory.mkdir(parents=True, exist_ok=True)
+        (directory / MODULE_FILE).write_text(self.ir_text)
+        report = {
+            "index": self.index,
+            "pass": self.pass_name,
+            "module_ir": MODULE_FILE,
+            "error": self.error.to_dict(),
+        }
+        (directory / REPORT_FILE).write_text(json.dumps(report, indent=2) + "\n")
+        self.path = directory
+        return directory
+
+    @classmethod
+    def read(cls, directory) -> "CrashBundle":
+        """Load a bundle back (the offline-repro side of :meth:`write`)."""
+        directory = Path(directory)
+        report = json.loads((directory / REPORT_FILE).read_text())
+        bundle = cls(
+            report["index"],
+            report["pass"],
+            (directory / report["module_ir"]).read_text(),
+            TransformError.from_dict(report["error"]),
+        )
+        bundle.path = directory
+        return bundle
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<CrashBundle #{self.index} {self.pass_name}: {self.error.kind}>"

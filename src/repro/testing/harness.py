@@ -25,6 +25,7 @@ from ..core.profiler import Profiler
 from ..frontend.codegen import compile_source
 from ..interp.interp import Interpreter
 from ..ir import verify_module
+from ..robust.passmanager import PassManager
 from ..runtime.machine import ParallelMachine
 from .corpus import MicroTest, build_corpus
 
@@ -43,7 +44,8 @@ class ToolConfig:
     ):
         self.name = name
         #: Tool names in application order; any of: "licm", "dead",
-        #: "carat", "coos", "time", "prvj", "doall", "helix", "dswp".
+        #: "carat", "coos", "time", "prvj", "perspective", "doall",
+        #: "helix", "dswp" (aliases resolve via the pass registry).
         self.tools = tools
         self.num_cores = num_cores
         self.minimum_hotness = minimum_hotness
@@ -64,71 +66,56 @@ class TestOutcome:
         self.config = config
         self.passed = False
         self.detail = ""
+        #: Names of tools that failed and were rolled back (the program
+        #: still runs, so the outcome can pass with entries here).
+        self.rolled_back: list[str] = []
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         status = "PASS" if self.passed else f"FAIL({self.detail})"
         return f"<{self.test.name} @ {self.config.name}: {status}>"
 
 
-def _apply_tools(module, config: ToolConfig) -> None:
+def _tool_options(tool_name: str, config: ToolConfig) -> dict:
+    if tool_name in ("doall", "helix"):
+        return dict(
+            num_cores=config.num_cores,
+            minimum_hotness=config.minimum_hotness,
+            only_loop_id=config.force_loop_id,
+        )
+    if tool_name == "dswp":
+        return dict(
+            minimum_hotness=config.minimum_hotness,
+            only_loop_id=config.force_loop_id,
+        )
+    if tool_name == "perspective":
+        return dict(default_cores=config.num_cores)
+    return {}
+
+
+def _apply_tools(module, config: ToolConfig, crash_dir=None) -> PassManager:
+    """Run every configured tool as a pass-manager transaction.
+
+    A tool that crashes, hangs, or breaks the verifier is rolled back and
+    recorded on the returned manager; the remaining tools still run, so
+    one broken custom tool degrades a configuration instead of aborting
+    the whole corpus run.
+    """
     noelle = Noelle(module)
     needs_profile = bool(
-        {"doall", "helix", "dswp", "prvj"} & set(config.tools)
+        {"doall", "helix", "dswp", "prvj", "prvjeeves", "perspective"}
+        & set(config.tools)
     )
     if needs_profile:
         noelle.attach_profile(Profiler(module).profile())
+    manager = PassManager(noelle, crash_dir=crash_dir)
     if config.rm_lc_dependences and (
         {"doall", "helix", "dswp"} & set(config.tools)
     ):
-        from ..tools.rm_lc_dependences import remove_loop_carried_dependences
-
-        remove_loop_carried_dependences(noelle)
+        manager.run_registered("rm-lc-dependences")
     for tool_name in config.tools:
-        if tool_name == "licm":
-            from ..xforms.licm import LICM
-
-            LICM(noelle).run()
-        elif tool_name == "dead":
-            from ..xforms.dead import DeadFunctionEliminator
-
-            DeadFunctionEliminator(noelle).run()
-        elif tool_name == "carat":
-            from ..xforms.carat import CARAT
-
-            CARAT(noelle).run()
-        elif tool_name == "coos":
-            from ..xforms.coos import CompilerTiming
-
-            CompilerTiming(noelle).run()
-        elif tool_name == "time":
-            from ..xforms.timesqueezer import TimeSqueezer
-
-            TimeSqueezer(noelle).run()
-        elif tool_name == "prvj":
-            from ..xforms.prvjeeves import PRVJeeves
-
-            PRVJeeves(noelle).run()
-        elif tool_name == "doall":
-            from ..xforms.doall import DOALL
-
-            DOALL(noelle, config.num_cores).run(
-                config.minimum_hotness, only_loop_id=config.force_loop_id
-            )
-        elif tool_name == "helix":
-            from ..xforms.helix import HELIX
-
-            HELIX(noelle, config.num_cores).run(
-                config.minimum_hotness, only_loop_id=config.force_loop_id
-            )
-        elif tool_name == "dswp":
-            from ..xforms.dswp import DSWP
-
-            DSWP(noelle).run(
-                config.minimum_hotness, only_loop_id=config.force_loop_id
-            )
-        else:
-            raise ValueError(f"unknown tool {tool_name!r}")
+        manager.run_registered(tool_name, **_tool_options(tool_name, config))
         noelle.invalidate()
+    return manager
 
 
 def run_micro_test(test: MicroTest, config: ToolConfig) -> TestOutcome:
@@ -138,7 +125,8 @@ def run_micro_test(test: MicroTest, config: ToolConfig) -> TestOutcome:
         reference_module = compile_source(test.source, test.name)
         reference = Interpreter(reference_module).run()
         module = compile_source(test.source, test.name)
-        _apply_tools(module, config)
+        manager = _apply_tools(module, config)
+        outcome.rolled_back = [r.name for r in manager.rolled_back()]
         verify_module(module)
         result = ParallelMachine(module, num_cores=config.num_cores).run()
         if result.trapped and not reference.trapped:

@@ -1,5 +1,6 @@
 """repro.tools — the noelle-* deployment tools (the paper's Table 2)."""
 
+from ..robust.diagnostics import EntryNotFoundError
 from .meta_pdg_embed import embed_pdg, has_embedded_pdg, load_embedded_pdg
 from .pipeline import (
     Binary,
@@ -20,6 +21,7 @@ from .whole_ir import (
 )
 
 __all__ = [
+    "EntryNotFoundError",
     "embed_pdg",
     "has_embedded_pdg",
     "load_embedded_pdg",

@@ -22,9 +22,9 @@ from ..core.noelle import Noelle
 from ..core.profiler import Profiler
 from ..ir import Module, parse_module, print_module, verify_module
 from ..perf import STATS, stats_enabled
+from ..robust.passmanager import PassManager
 from ..runtime.machine import ParallelMachine
 from .pipeline import make_binary, prof_coverage
-from .rm_lc_dependences import remove_loop_carried_dependences
 from .whole_ir import whole_ir_from_files
 
 
@@ -86,23 +86,37 @@ def _cmd_profile(args) -> int:
     return 0
 
 
+def _manager_for(args, noelle: Noelle) -> PassManager:
+    return PassManager(noelle, crash_dir=args.crash_dir)
+
+
+def _report_rollbacks(manager: PassManager) -> None:
+    for result in manager.rolled_back():
+        where = f" (bundle: {result.bundle})" if result.bundle else ""
+        print(f"pass {result.name} rolled back: {result.error}{where}",
+              file=sys.stderr)
+
+
 def _cmd_parallelize(args) -> int:
     module = _load_ir(args.input)
     noelle = Noelle(module)
     noelle.attach_profile(Profiler(module).profile())
-    remove_loop_carried_dependences(noelle)
+    manager = _manager_for(args, noelle)
+    manager.run_registered("rm-lc-dependences")
     if args.technique == "doall":
-        from ..xforms.doall import DOALL
-
-        count = DOALL(noelle, args.cores).run(args.min_hotness)
+        result = manager.run_registered(
+            "doall", num_cores=args.cores, minimum_hotness=args.min_hotness
+        )
     elif args.technique == "helix":
-        from ..xforms.helix import HELIX
-
-        count = HELIX(noelle, args.cores).run(args.min_hotness)
+        result = manager.run_registered(
+            "helix", num_cores=args.cores, minimum_hotness=args.min_hotness
+        )
     else:
-        from ..xforms.dswp import DSWP
-
-        count = DSWP(noelle, num_stages=args.stages).run(args.min_hotness)
+        result = manager.run_registered(
+            "dswp", num_stages=args.stages, minimum_hotness=args.min_hotness
+        )
+    _report_rollbacks(manager)
+    count = result.value if result.ok else 0
     print(f"parallelized {count} loop(s) with {args.technique}",
           file=sys.stderr)
     verify_module(module)
@@ -111,21 +125,23 @@ def _cmd_parallelize(args) -> int:
 
 
 def _cmd_licm(args) -> int:
-    from ..xforms.licm import LICM
-
     module = _load_ir(args.input)
-    hoisted = LICM(Noelle(module)).run()
-    print(f"hoisted {hoisted} invariant instruction(s)", file=sys.stderr)
+    manager = _manager_for(args, Noelle(module))
+    result = manager.run_registered("licm")
+    _report_rollbacks(manager)
+    print(f"hoisted {result.value if result.ok else 0} invariant "
+          f"instruction(s)", file=sys.stderr)
     _save_ir(module, args.output)
     return 0
 
 
 def _cmd_dead(args) -> int:
-    from ..xforms.dead import DeadFunctionEliminator
-
     module = _load_ir(args.input)
     before = module.num_instructions()
-    removed = DeadFunctionEliminator(Noelle(module)).run()
+    manager = _manager_for(args, Noelle(module))
+    result = manager.run_registered("dead")
+    _report_rollbacks(manager)
+    removed = result.value if result.ok else []
     after = module.num_instructions()
     print(
         f"removed {len(removed)} function(s): {', '.join(removed) or '-'} "
@@ -168,6 +184,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print analysis perf counters/timers to stderr when done "
         "(equivalent to NOELLE_STATS=1)",
+    )
+    parser.add_argument(
+        "--crash-dir",
+        default=None,
+        metavar="DIR",
+        help="where rolled-back passes write crash bundles "
+        "(pre-pass IR + report.json); unset keeps bundles in memory only",
     )
     sub = parser.add_subparsers(dest="command", required=True)
 

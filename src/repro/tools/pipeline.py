@@ -21,9 +21,10 @@ from ..core.profiler import ProfileData, Profiler, embed_profile
 from ..interp.interp import ExecutionResult
 from ..ir import Module, link_modules, verify_module
 from ..perf import STATS
+from ..robust.diagnostics import EntryNotFoundError
+from ..robust.passmanager import DEFAULT_DEADLINE_S, PassManager
 from ..runtime.machine import ParallelMachine
 from .meta_pdg_embed import embed_pdg, load_embedded_pdg
-from .rm_lc_dependences import remove_loop_carried_dependences
 from .whole_ir import link_options_of
 
 
@@ -76,7 +77,7 @@ def load(
     noelle = Noelle(module, architecture, profile, minimum_hotness)
     embedded = load_embedded_pdg(module)
     if embedded is not None:
-        noelle._pdg = embedded
+        noelle.adopt_pdg(embedded)
     return noelle
 
 
@@ -102,6 +103,12 @@ class Binary:
 
     def run(self, args: list[object] | None = None,
             entry: str = "main") -> ExecutionResult:
+        fn = self.module.functions.get(entry)
+        if fn is None or fn.is_declaration():
+            raise EntryNotFoundError(
+                entry,
+                sorted(f.name for f in self.module.defined_functions()),
+            )
         machine = ParallelMachine(
             self.module,
             architecture=self.architecture,
@@ -126,6 +133,11 @@ def helix_pipeline(
     training_args: list[object] | None = None,
     num_cores: int = 12,
     minimum_hotness: float = 0.001,
+    crash_dir: str | None = None,
+    fault_plan="env",
+    deadline_s: float | None = DEFAULT_DEADLINE_S,
+    step_budget: int | None = None,
+    pass_manager: PassManager | None = None,
 ) -> Module:
     """The Figure 1 compilation flow, end to end.
 
@@ -133,8 +145,14 @@ def helix_pipeline(
     meta-clean -> prof-coverage -> meta-prof-embed -> meta-pdg-embed ->
     arch -> load -> HELIX transformation -> (linker/bin are the caller's
     final step via :func:`make_binary`).
+
+    Both transforms run as :class:`PassManager` transactions: a pass that
+    crashes, times out, or fails verification is rolled back to its
+    byte-identical pre-pass snapshot (a crash bundle lands in
+    ``crash_dir``) and compilation continues with the surviving module —
+    one bad optimization degrades, it does not abort.  Pass an explicit
+    ``pass_manager`` to inspect results and bundles afterwards.
     """
-    from ..xforms.helix import HELIX
     from .whole_ir import whole_ir_from_sources
 
     with STATS.timer("pipeline.helix"):
@@ -143,7 +161,18 @@ def helix_pipeline(
             profile = prof_coverage(module, training_args)
         meta_prof_embed(module, profile)
         noelle = Noelle(module, profile=profile)
-        remove_loop_carried_dependences(noelle)
+        manager = pass_manager
+        if manager is None:
+            manager = PassManager(
+                noelle,
+                crash_dir=crash_dir,
+                deadline_s=deadline_s,
+                step_budget=step_budget,
+                fault_plan=fault_plan,
+            )
+        else:
+            manager.rebind(noelle)
+        manager.run_registered("rm-lc-dependences")
         meta_clean(module)
         with STATS.timer("pipeline.profile"):
             profile = prof_coverage(module, training_args)
@@ -151,8 +180,10 @@ def helix_pipeline(
         with STATS.timer("pipeline.pdg_embed"):
             embed_pdg(module)
         architecture = measure_architecture(num_cores)
-        noelle = load(module, architecture, profile, minimum_hotness)
+        manager.rebind(load(module, architecture, profile, minimum_hotness))
         with STATS.timer("pipeline.transform"):
-            HELIX(noelle, num_cores).run(minimum_hotness)
+            manager.run_registered(
+                "helix", num_cores=num_cores, minimum_hotness=minimum_hotness
+            )
         verify_module(module)
     return module

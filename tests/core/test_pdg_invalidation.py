@@ -185,3 +185,46 @@ def test_embedded_pdg_round_trips_through_shards():
     assert edge_multiset(loaded) == edge_multiset(original)
     assert loaded.memory_queries == original.memory_queries
     assert loaded.memory_disproved == original.memory_disproved
+
+
+# -- adopt_pdg: the public seam noelle-load uses -------------------------------------
+
+
+def test_adopt_pdg_installs_and_drops_dependent_caches():
+    from repro.frontend.codegen import compile_source
+
+    module = compile_source(
+        """
+int a[40];
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 40; i = i + 1) { s = s + a[i]; }
+  print_int(s);
+  return s;
+}
+""",
+        "loopy",
+    )
+    noelle = Noelle(module)
+    stale_loops = noelle.loops()  # built against the self-computed PDG
+    assert stale_loops  # the workload has a loop
+    embed_pdg(module)
+    loaded = load_embedded_pdg(module)
+    noelle.adopt_pdg(loaded)
+    assert noelle.pdg() is loaded
+    fresh_loops = noelle.loops()
+    assert fresh_loops is not stale_loops
+    assert fresh_loops
+    assert all(loop.pdg is loaded for loop in fresh_loops)
+
+
+def test_noelle_load_adopts_embedded_pdg():
+    from repro.tools.pipeline import load
+
+    module = two_function_module()
+    embedded = embed_pdg(module)
+    noelle = load(module)
+    assert edge_multiset(noelle.pdg()) == edge_multiset(embedded)
+    # The adopted PDG is the rehydrated one (no alias analysis attached),
+    # not a recomputation.
+    assert noelle.pdg().aa is None

@@ -1,0 +1,87 @@
+"""Crash bundles, structured transform errors, and the noelle-bin entry check."""
+
+import json
+
+import pytest
+
+from repro.frontend.codegen import compile_source
+from repro.robust.diagnostics import (
+    MODULE_FILE,
+    REPORT_FILE,
+    CrashBundle,
+    EntryNotFoundError,
+    TransformError,
+)
+from repro.tools.pipeline import make_binary
+
+SOURCE = """
+int helper(int x) { return x + 1; }
+int main() { print_int(helper(41)); return 0; }
+"""
+
+
+class TestTransformError:
+    def test_from_exception_captures_structure(self):
+        try:
+            raise ValueError("bad loop shape")
+        except ValueError as error:
+            record = TransformError.from_exception(
+                "helix", "run", error, fault="seed:1 (verify:2)", seconds=0.25
+            )
+        assert record.pass_name == "helix"
+        assert record.phase == "run"
+        assert record.kind == "ValueError"
+        assert record.message == "bad loop shape"
+        assert record.fault == "seed:1 (verify:2)"
+        assert "ValueError: bad loop shape" in record.traceback
+        assert "failed during run" in str(record)
+
+    def test_dict_roundtrip(self):
+        record = TransformError("licm", "verify", "VerificationError", "boom")
+        clone = TransformError.from_dict(record.to_dict())
+        assert clone.to_dict() == record.to_dict()
+
+
+class TestCrashBundle:
+    def test_write_and_read_roundtrip(self, tmp_path):
+        error = TransformError("doall", "run", "InjectedFault", "injected",
+                               fault="alias_query:3")
+        bundle = CrashBundle(0, "doall", "; module m\n", error)
+        directory = bundle.write(tmp_path)
+        assert directory == tmp_path / "000-doall"
+        assert (directory / MODULE_FILE).read_text() == "; module m\n"
+        report = json.loads((directory / REPORT_FILE).read_text())
+        assert report["pass"] == "doall"
+        assert report["error"]["fault"] == "alias_query:3"
+
+        loaded = CrashBundle.read(directory)
+        assert loaded.ir_text == bundle.ir_text
+        assert loaded.error.to_dict() == error.to_dict()
+
+    def test_pass_names_are_slugged(self, tmp_path):
+        error = TransformError("rm lc/dependences", "run", "X", "y")
+        bundle = CrashBundle(2, "rm lc/dependences", "", error)
+        directory = bundle.write(tmp_path)
+        assert directory.name == "002-rm-lc-dependences"
+
+
+class TestEntryNotFound:
+    def test_missing_entry_lists_available_functions(self):
+        binary = make_binary(compile_source(SOURCE, "demo"))
+        with pytest.raises(EntryNotFoundError) as exc:
+            binary.run(entry="nope")
+        assert exc.value.entry == "nope"
+        assert "main" in exc.value.available
+        assert "@main" in str(exc.value)
+        assert "@helper" in str(exc.value)
+
+    def test_declaration_entry_is_rejected(self):
+        binary = make_binary(compile_source(SOURCE, "demo"))
+        # print_int exists but only as a declaration — not runnable.
+        with pytest.raises(EntryNotFoundError):
+            binary.run(entry="print_int")
+
+    def test_valid_entry_still_runs(self):
+        binary = make_binary(compile_source(SOURCE, "demo"))
+        result = binary.run()
+        assert result.output == [42]

@@ -1,0 +1,113 @@
+"""Unit tests for the deterministic fault-injection harness."""
+
+import pytest
+
+from repro.robust import faults
+from repro.robust.faults import (
+    Budget,
+    FaultPlan,
+    InjectedFault,
+    PassDeadlineExceeded,
+)
+
+
+class TestFaultPlan:
+    def test_spec_roundtrip(self):
+        plan = FaultPlan.from_spec("alias_query:5")
+        assert plan.site == "alias_query"
+        assert plan.trigger == 5
+        assert plan.describe() == "alias_query:5"
+
+    @pytest.mark.parametrize("bad", ["", "alias_query", "verify:x", "bogus:3",
+                                     "verify:0", "snapshot:-1"])
+    def test_bad_specs_rejected(self, bad):
+        with pytest.raises(ValueError):
+            FaultPlan.from_spec(bad)
+
+    def test_seeded_plans_are_deterministic(self):
+        for seed in range(10):
+            a = FaultPlan.from_seed(seed)
+            b = FaultPlan.from_seed(seed)
+            assert (a.site, a.trigger) == (b.site, b.trigger)
+            assert a.describe().startswith(f"seed:{seed}")
+
+    def test_seed_spec_parses(self):
+        plan = FaultPlan.from_spec("seed:3")
+        assert plan.seed == 3
+        assert (plan.site, plan.trigger) == (
+            FaultPlan.from_seed(3).site,
+            FaultPlan.from_seed(3).trigger,
+        )
+
+    def test_fires_exactly_once_at_the_nth_visit(self):
+        plan = FaultPlan("verify", 2)
+        plan.note("verify")  # 1st: no fire
+        with pytest.raises(InjectedFault) as exc:
+            plan.note("verify")  # 2nd: fire
+        assert exc.value.site == "verify"
+        assert exc.value.ordinal == 2
+        assert plan.fired
+        assert plan.fired_at == ("verify", 2)
+        plan.note("verify")  # 3rd: already fired, silent
+        assert plan.counts["verify"] == 3
+
+    def test_other_sites_do_not_trigger(self):
+        plan = FaultPlan("snapshot", 1)
+        plan.note("verify")
+        plan.note("alias_query")
+        assert not plan.fired
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.delenv(faults.ENV_VAR, raising=False)
+        assert FaultPlan.from_env() is None
+        assert not faults.enabled_in_env()
+        monkeypatch.setenv(faults.ENV_VAR, "verify:1")
+        plan = FaultPlan.from_env()
+        assert (plan.site, plan.trigger) == ("verify", 1)
+        assert faults.enabled_in_env()
+
+
+class TestArming:
+    def test_checkpoint_is_noop_when_unarmed(self):
+        faults.checkpoint("alias_query")  # must not raise
+
+    def test_armed_plan_fires_and_restores(self):
+        plan = FaultPlan("alias_query", 1)
+        with faults.armed(plan):
+            assert faults.active_plan() is plan
+            with pytest.raises(InjectedFault):
+                faults.checkpoint("alias_query")
+        assert faults.active_plan() is None
+        faults.checkpoint("alias_query")  # disarmed again
+
+    def test_suspended_disables_counting(self):
+        plan = FaultPlan("verify", 1)
+        with faults.armed(plan):
+            with faults.suspended():
+                faults.checkpoint("verify")
+            assert plan.counts["verify"] == 0
+            with pytest.raises(InjectedFault):
+                faults.checkpoint("verify")
+
+    def test_nested_arming_restores_outer(self):
+        outer = FaultPlan("verify", 99)
+        inner = FaultPlan("verify", 99)
+        with faults.armed(outer):
+            with faults.armed(inner):
+                assert faults.active_plan() is inner
+            assert faults.active_plan() is outer
+
+
+class TestBudget:
+    def test_unlimited_budget_never_expires(self):
+        budget = Budget(None)
+        assert not budget.expired()
+        budget.check()
+
+    def test_expired_budget_raises_at_checkpoint(self):
+        ticks = iter([0.0, 1.0, 2.0, 3.0])
+        budget = Budget(0.5, clock=lambda: next(ticks))
+        assert budget.expired()
+        with faults.armed(None, budget):
+            with pytest.raises(PassDeadlineExceeded):
+                faults.checkpoint("alias_query")

@@ -1,0 +1,257 @@
+"""The transactional pass manager: snapshots, rollback, budgets, registry."""
+
+import time
+
+import pytest
+
+from repro import ir
+from repro.core.noelle import Noelle
+from repro.frontend.codegen import compile_source
+from repro.interp import interp as interp_mod
+from repro.interp.interp import Interpreter, StepLimitExceeded
+from repro.ir import print_module, verify_module
+from repro.robust.faults import FaultPlan, InjectedFault
+from repro.robust.passmanager import PassManager, build_pass
+from repro.tools.meta_pdg_embed import embed_pdg, has_embedded_pdg
+from repro.workloads.registry import all_workloads
+
+SOURCE = """
+int g = 6;
+int out[60];
+int main() {
+  int i;
+  for (i = 0; i < 60; i = i + 1) {
+    int k = g * 3;
+    out[i] = k + i;
+  }
+  print_int(out[10]);
+  return 0;
+}
+"""
+
+
+#: A memory accumulator (``total``) whose promotion forces alias queries.
+ACC_SOURCE = """
+int data[300];
+int total = 0;
+int main() {
+  int i;
+  for (i = 0; i < 300; i = i + 1) { data[i] = i * 5 % 23; }
+  for (i = 0; i < 300; i = i + 1) { total = total + data[i]; }
+  print_int(total);
+  return total;
+}
+"""
+
+
+def fresh_manager(source=SOURCE, **kwargs):
+    module = compile_source(source, "demo")
+    noelle = Noelle(module)
+    kwargs.setdefault("fault_plan", None)  # isolate from NOELLE_FAULTS
+    return PassManager(noelle, **kwargs), module
+
+
+class TestSuccessPath:
+    def test_ok_pass_commits_and_records(self):
+        manager, module = fresh_manager()
+        before = print_module(module)
+        result = manager.run_registered("licm")
+        assert result.ok and not result.rolled_back
+        assert result.value >= 1  # g * 3 is hoistable
+        assert result.error is None
+        assert print_module(module) != before  # the change was kept
+        assert manager.bundles == []
+        assert Interpreter(module).run().output == [28]
+
+    def test_unknown_pass_rejected_before_any_transaction(self):
+        manager, _ = fresh_manager()
+        with pytest.raises(ValueError, match="unknown tool"):
+            manager.run_registered("does-not-exist")
+        assert manager.results == []
+
+    def test_registry_covers_all_ten_xforms_and_rm_lc(self):
+        names = ["doall", "dswp", "helix", "licm", "perspective", "dead",
+                 "coos", "prvjeeves", "timesqueezer", "carat",
+                 "rm-lc-dependences"]
+        for name in names:
+            canonical, body = build_pass(name)
+            assert canonical == name
+            assert callable(body)
+        # Harness/CLI aliases resolve to the same passes.
+        assert build_pass("prvj")[0] == "prvjeeves"
+        assert build_pass("time")[0] == "timesqueezer"
+        assert build_pass("rm_lc_dependences")[0] == "rm-lc-dependences"
+
+
+class TestRollback:
+    def test_exception_mid_mutation_rolls_back_byte_identical(self, tmp_path):
+        manager, module = fresh_manager(crash_dir=tmp_path)
+        before = print_module(module)
+
+        def mutate_and_die(noelle):
+            noelle.module.add_global("junk", ir.I64)
+            raise RuntimeError("boom")
+
+        result = manager.run("bad-pass", mutate_and_die)
+        assert result.rolled_back
+        assert result.error.kind == "RuntimeError"
+        assert result.error.phase == "run"
+        assert print_module(module) == before
+        assert "junk" not in module.globals
+        verify_module(module)
+        # Crash bundle holds the byte-identical pre-pass IR.
+        assert result.bundle is not None
+        assert (result.bundle / "module.ir").read_text() == before
+
+    def test_verifier_rejection_rolls_back(self):
+        manager, module = fresh_manager()
+        before = print_module(module)
+
+        def drop_terminator(noelle):
+            main = noelle.module.get_function("main")
+            main.blocks[0].instructions.pop()
+
+        result = manager.run("corruptor", drop_terminator)
+        assert result.rolled_back
+        assert result.error.kind == "VerificationError"
+        assert result.error.phase == "verify"
+        assert print_module(module) == before
+
+    def test_injected_alias_fault_rolls_back(self, tmp_path):
+        manager, module = fresh_manager(
+            ACC_SOURCE,
+            crash_dir=tmp_path,
+            fault_plan=FaultPlan.from_spec("alias_query:1"),
+        )
+        before = print_module(module)
+        result = manager.run_registered("rm-lc-dependences")
+        assert result.rolled_back
+        assert result.error.kind == "InjectedFault"
+        assert result.error.fault == "alias_query:1"
+        assert print_module(module) == before
+        assert len(list(tmp_path.iterdir())) == 1
+
+    def test_snapshot_fault_leaves_module_untouched(self):
+        manager, module = fresh_manager(
+            fault_plan=FaultPlan.from_spec("snapshot:1")
+        )
+        before = print_module(module)
+        result = manager.run_registered("licm")
+        assert result.rolled_back
+        assert result.error.phase == "snapshot"
+        assert print_module(module) == before
+        # The one-shot plan is spent: the retry commits.
+        retry = manager.run_registered("licm")
+        assert retry.ok
+
+    def test_metadata_survives_rollback(self):
+        manager, module = fresh_manager()
+        embed_pdg(module)
+        module.metadata["custom.tag"] = [1, 2, 3]
+        main = module.get_function("main")
+        main.metadata["custom.fn"] = True
+        first_inst = main.blocks[0].instructions[0]
+        first_inst.metadata["custom.inst"] = 7
+        saved_module_md = dict(module.metadata)
+
+        def mutate_metadata_and_die(noelle):
+            noelle.module.metadata.clear()
+            noelle.module.get_function("main").metadata.clear()
+            raise RuntimeError("boom")
+
+        result = manager.run("md-killer", mutate_metadata_and_die)
+        assert result.rolled_back
+        assert module.metadata == saved_module_md
+        assert has_embedded_pdg(module)
+        main = module.get_function("main")
+        assert main.metadata.get("custom.fn") is True
+        assert main.blocks[0].instructions[0].metadata.get("custom.inst") == 7
+
+    def test_strict_manager_rolls_back_then_reraises(self):
+        manager, module = fresh_manager(strict=True)
+        before = print_module(module)
+
+        def die(noelle):
+            raise KeyError("nope")
+
+        with pytest.raises(KeyError):
+            manager.run("strict-pass", die)
+        assert print_module(module) == before
+        assert manager.results[-1].rolled_back
+
+
+class TestBudgets:
+    def test_wall_clock_overrun_rolls_back(self):
+        manager, module = fresh_manager(deadline_s=0.0)
+        before = print_module(module)
+
+        def slow(noelle):
+            time.sleep(0.01)
+
+        result = manager.run("sleepy", slow)
+        assert result.rolled_back
+        assert result.error.kind == "PassDeadlineExceeded"
+        assert print_module(module) == before
+
+    def test_step_budget_caps_pass_interpreters(self):
+        manager, module = fresh_manager(step_budget=10)
+
+        def profile_like(noelle):
+            Interpreter(noelle.module).run()
+
+        result = manager.run("profiler", profile_like)
+        assert result.rolled_back
+        assert result.error.kind == "StepLimitExceeded"
+        # The cap is lifted once the transaction is over.
+        assert interp_mod._STEP_BUDGET is None
+        assert Interpreter(module).step_limit == 50_000_000
+        assert Interpreter(module).run().output == [28]
+
+    def test_explicit_interpreter_limits_still_tighten(self):
+        manager, module = fresh_manager(step_budget=1_000_000)
+
+        def tight(noelle):
+            assert Interpreter(noelle.module, step_limit=5).step_limit == 5
+            assert Interpreter(noelle.module).step_limit == 1_000_000
+
+        assert manager.run("limits", tight).ok
+
+
+class TestEnvironmentPlans:
+    def test_env_plan_arms_default_managers(self, monkeypatch):
+        monkeypatch.setenv("NOELLE_FAULTS", "verify:1")
+        module = compile_source(SOURCE, "demo")
+        manager = PassManager(Noelle(module))
+        before = print_module(module)
+        result = manager.run_registered("licm")
+        assert result.rolled_back
+        assert print_module(module) == before
+
+    def test_explicit_none_disables_env_plan(self, monkeypatch):
+        monkeypatch.setenv("NOELLE_FAULTS", "verify:1")
+        module = compile_source(SOURCE, "demo")
+        manager = PassManager(Noelle(module), fault_plan=None)
+        assert manager.run_registered("licm").ok
+
+
+@pytest.mark.parametrize(
+    "workload", [w.name for w in all_workloads()],
+)
+def test_rollback_is_byte_identical_for_every_workload(workload, tmp_path):
+    """Satellite: for every registry workload, a fault injected mid-pass
+    must restore the module byte-identically to the pre-pass snapshot."""
+    from repro.workloads.registry import get
+
+    module = get(workload).compile()
+    noelle = Noelle(module)
+    manager = PassManager(
+        noelle, crash_dir=tmp_path, fault_plan=FaultPlan.from_spec("verify:1")
+    )
+    before = print_module(module)
+    result = manager.run_registered("licm")
+    assert result.rolled_back
+    assert print_module(module) == before
+    verify_module(module)
+    bundle_dirs = list(tmp_path.iterdir())
+    assert len(bundle_dirs) == 1
+    assert (bundle_dirs[0] / "module.ir").read_text() == before

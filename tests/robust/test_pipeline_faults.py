@@ -1,0 +1,125 @@
+"""Acceptance: graceful degradation of the Figure-1 pipeline under faults.
+
+With a fault injected into any single pass of ``helix_pipeline``, the
+pipeline must complete, emit exactly one crash bundle, leave a module
+that passes ``verify_module``, and produce interpreter output equal to
+the unoptimized module's output.
+"""
+
+import pytest
+
+from repro.interp.interp import Interpreter
+from repro.ir import verify_module
+from repro.robust.faults import FaultPlan
+from repro.robust.passmanager import PassManager
+from repro.tools.pipeline import helix_pipeline, make_binary
+from repro.tools.whole_ir import whole_ir_from_sources
+
+MAIN_SRC = """
+int values[900];
+void fill(int n);
+int score(int v);
+int total = 0;
+int main() {
+  int i;
+  fill(900);
+  for (i = 0; i < 900; i = i + 1) {
+    total = total + score(values[i]);
+  }
+  print_int(total);
+  return total;
+}
+"""
+
+LIB_SRC = """
+int values[900];
+void fill(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) { values[i] = (i * 31 + 7) % 64; }
+}
+int score(int v) { return (v * v + 5) % 113; }
+"""
+
+
+@pytest.fixture(scope="module")
+def baseline_output():
+    sequential = whole_ir_from_sources([MAIN_SRC, LIB_SRC])
+    return Interpreter(sequential).run().output
+
+
+class TestPipelineUnderFaults:
+    def test_no_faults_no_bundles(self, tmp_path, baseline_output):
+        manager = PassManager(None, crash_dir=tmp_path, fault_plan=None)
+        module = helix_pipeline(
+            [MAIN_SRC, LIB_SRC], num_cores=8, pass_manager=manager
+        )
+        assert manager.rolled_back() == []
+        assert list(tmp_path.iterdir()) == []
+        result = make_binary(module, num_cores=8).run()
+        assert result.output == baseline_output
+
+    # The pipeline runs two transactions (rm-lc-dependences, helix); the
+    # specs below land one fault in each phase of each transaction.
+    @pytest.mark.parametrize(
+        "spec, victim",
+        [
+            ("snapshot:1", "rm-lc-dependences"),
+            ("snapshot:2", "helix"),
+            ("verify:1", "rm-lc-dependences"),
+            ("verify:2", "helix"),
+            ("alias_query:1", "rm-lc-dependences"),
+        ],
+    )
+    def test_single_fault_degrades_one_pass(
+        self, tmp_path, baseline_output, spec, victim
+    ):
+        manager = PassManager(
+            None, crash_dir=tmp_path, fault_plan=FaultPlan.from_spec(spec)
+        )
+        module = helix_pipeline(
+            [MAIN_SRC, LIB_SRC], num_cores=8, pass_manager=manager
+        )
+        assert manager.fault_plan.fired
+        rolled = manager.rolled_back()
+        assert [r.name for r in rolled] == [victim]
+        # Exactly one crash bundle on disk, holding the pre-pass IR.
+        bundles = list(tmp_path.iterdir())
+        assert len(bundles) == 1
+        assert victim in bundles[0].name
+        # The surviving module is sound and semantics-preserving.
+        verify_module(module)
+        result = make_binary(module, num_cores=8).run()
+        assert result.trapped is None
+        assert result.output == baseline_output
+
+    def test_seeded_fault_degrades_gracefully(self, tmp_path, baseline_output):
+        manager = PassManager(
+            None, crash_dir=tmp_path, fault_plan=FaultPlan.from_seed(1)
+        )
+        module = helix_pipeline(
+            [MAIN_SRC, LIB_SRC], num_cores=8, pass_manager=manager
+        )
+        verify_module(module)
+        result = make_binary(module, num_cores=8).run()
+        assert result.output == baseline_output
+        # At most one transaction degraded (plans are one-shot).
+        assert len(manager.rolled_back()) <= 1
+        assert len(list(tmp_path.iterdir())) == len(manager.rolled_back())
+
+
+class TestExperimentsUnaffected:
+    """NOELLE_FAULTS only arms inside transactions, so the figure
+    experiments (which never route through the pass manager) must be
+    byte-for-byte reproducible under any fault environment."""
+
+    def test_fig3_fig4_match_the_unfaulted_run(self, monkeypatch):
+        from repro.experiments.figures import fig3_dependences, fig4_invariants
+        from repro.workloads.registry import all_workloads
+
+        subset = all_workloads()[:2]
+        monkeypatch.delenv("NOELLE_FAULTS", raising=False)
+        fig3_before = fig3_dependences(subset)
+        fig4_before = fig4_invariants(subset)
+        monkeypatch.setenv("NOELLE_FAULTS", "seed:1")
+        assert fig3_dependences(subset) == fig3_before
+        assert fig4_invariants(subset) == fig4_before

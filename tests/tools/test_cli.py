@@ -4,6 +4,7 @@ import os
 
 import pytest
 
+from repro.robust.faults import enabled_in_env as faults_enabled
 from repro.tools.cli import main
 
 DEMO_SOURCE = """
@@ -115,7 +116,10 @@ int main() {
         slim = tmp_path / "slim.ir"
         assert main(["dead", str(ir_file), "-o", str(slim)]) == 0
         text = slim.read_text()
-        assert "@unused" not in text
+        if not faults_enabled():
+            # Under NOELLE_FAULTS the dead pass may roll back; the output
+            # must still be valid IR containing the live code.
+            assert "@unused" not in text
         assert "@used" in text
 
 

@@ -6,6 +6,7 @@ from repro.core import Noelle
 from repro.core.pdg import PDG
 from repro.frontend import compile_source
 from repro.interp import Interpreter
+from repro.robust.faults import enabled_in_env as faults_enabled
 from repro.tools import (
     embed_pdg,
     has_embedded_pdg,
@@ -185,5 +186,8 @@ int score(int v) { return (v * v + 5) % 113; }
         result = binary.run()
         assert result.trapped is None
         assert outputs_match(result.output, baseline.output)
-        assert result.parallel_executions  # at least one parallel region
-        assert baseline.cycles / result.cycles > 2.0  # a real speedup
+        if not faults_enabled():
+            # Under NOELLE_FAULTS a pipeline pass may (deliberately) roll
+            # back, so only semantics is guaranteed — not the speedup.
+            assert result.parallel_executions  # at least one parallel region
+            assert baseline.cycles / result.cycles > 2.0  # a real speedup
