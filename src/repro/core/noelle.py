@@ -15,6 +15,7 @@ from ..analysis.aa import AliasAnalysis, BasicAliasAnalysis
 from ..analysis.dominators import DominatorTree, PostDominatorTree
 from ..analysis.loopinfo import LoopInfo, NaturalLoop
 from ..analysis.pointsto import AndersenAliasAnalysis, PointsToAnalysis
+from ..interp.engine import invalidate_module
 from ..ir.module import Function, Module
 from .architecture import ArchitectureDescription
 from .callgraph import CallGraph
@@ -88,6 +89,9 @@ class Noelle:
         """
         self._pdg = pdg
         self._loops = None
+        # An adopted PDG usually accompanies module metadata surgery;
+        # compiled code must not outlive whatever produced it.
+        invalidate_module(self.module)
 
     def call_graph(self) -> CallGraph:
         if self._callgraph is None:
@@ -221,7 +225,11 @@ class Noelle:
         *other* functions' code touches), everything is dropped.
         """
         if fn is not None and self._try_invalidate_function(fn):
+            # The execution engine's compiled code is per-function state
+            # derived from the body: drop exactly that function's code.
+            invalidate_module(self.module, fn)
             return
+        invalidate_module(self.module)
         self._aa = None
         self._pdg = None
         self._callgraph = None

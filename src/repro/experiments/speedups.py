@@ -82,29 +82,47 @@ def _parallelize_and_run(workload: Workload, technique: str, num_cores: int):
 FIG5_TECHNIQUES = ("gcc", "icc", "doall", "helix", "dswp")
 
 
+def _fig5_row(
+    task: tuple[Workload, int, tuple[str, ...]]
+) -> dict:
+    """One benchmark's row (module-level so process pools can pickle it)."""
+    workload, num_cores, techniques = task
+    row: dict = {"benchmark": workload.name, "suite": workload.suite,
+                 "parallel_friendly": workload.parallel_friendly}
+    for technique in techniques:
+        speedup, count, matches = _parallelize_and_run(
+            workload, technique, num_cores
+        )
+        row[technique] = speedup
+        row[f"{technique}_loops"] = count
+        row[f"{technique}_correct"] = matches
+    return row
+
+
 def fig5_speedups(
     workloads: list[Workload] | None = None,
     num_cores: int = 12,
     techniques: tuple[str, ...] = FIG5_TECHNIQUES,
+    jobs: int | None = None,
 ) -> list[dict]:
     """Figure 5: speedups over clang (the plain sequential binary) for
     gcc/icc-style auto-parallelization vs the NOELLE-based tools, on the
-    PARSEC and MiBench suites."""
+    PARSEC and MiBench suites.
+
+    Each benchmark is independent (fresh modules, a deterministic
+    machine model), so ``jobs=N`` fans the rows out over worker
+    processes; ``pool.map`` preserves order, making the result
+    byte-identical to the sequential run.
+    """
     if workloads is None:
         workloads = suite("parsec") + suite("mibench")
-    rows = []
-    for workload in workloads:
-        row: dict = {"benchmark": workload.name, "suite": workload.suite,
-                     "parallel_friendly": workload.parallel_friendly}
-        for technique in techniques:
-            speedup, count, matches = _parallelize_and_run(
-                workload, technique, num_cores
-            )
-            row[technique] = speedup
-            row[f"{technique}_loops"] = count
-            row[f"{technique}_correct"] = matches
-        rows.append(row)
-    return rows
+    tasks = [(workload, num_cores, techniques) for workload in workloads]
+    if jobs is not None and jobs > 1 and len(tasks) > 1:
+        import multiprocessing
+
+        with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
+            return pool.map(_fig5_row, tasks)
+    return [_fig5_row(task) for task in tasks]
 
 
 def spec_speedups(num_cores: int = 12) -> list[dict]:

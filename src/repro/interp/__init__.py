@@ -1,5 +1,18 @@
-"""repro.interp — the reference interpreter for the repro IR."""
+"""repro.interp — execution of the repro IR.
 
+Two engines share one observable semantics: the tree-walking reference
+interpreter (:mod:`repro.interp.interp`) and the compiled
+closure-threaded engine (:mod:`repro.interp.engine`), selected via the
+``NOELLE_ENGINE`` environment variable or the ``engine=`` argument.
+"""
+
+from .engine import (
+    ENGINE_ENV,
+    ExecutionEngine,
+    engine_for,
+    engine_mode,
+    invalidate_module,
+)
 from .interp import (
     INSTRUCTION_COSTS,
     INTRINSIC_COSTS,
@@ -12,6 +25,8 @@ from .interp import (
 )
 
 __all__ = [
+    "ENGINE_ENV",
+    "ExecutionEngine",
     "INSTRUCTION_COSTS",
     "INTRINSIC_COSTS",
     "ExecutionResult",
@@ -19,5 +34,8 @@ __all__ = [
     "Interpreter",
     "MemoryTrap",
     "StepLimitExceeded",
+    "engine_for",
+    "engine_mode",
+    "invalidate_module",
     "run_module",
 ]

@@ -1,0 +1,979 @@
+"""Compiled execution engine: closure-threaded lowering of repro IR.
+
+The reference interpreter (:mod:`repro.interp.interp`) re-resolves every
+operand, re-dispatches on instruction class, and re-reads the cost table
+on every step.  This module removes all of that from the hot path by
+*compiling* each :class:`~repro.ir.module.Function` once:
+
+* **slot frames** — SSA values get integer slot indices at compile time;
+  at run time the frame is a plain Python list (``regs``), so an operand
+  read is one indexed load instead of a dict probe keyed by ``id()``.
+  Slot 0 holds the frame's allocation list, slot 1 the return value.
+* **generated closures** — each instruction is rendered to Python source
+  with its operand slots and constants folded in as literals, and the
+  whole function body is ``exec``'d once; the resulting code objects are
+  the "direct-threaded" ops.
+* **straight-line segments** — each block is split into maximal runs of
+  call-free instructions.  A segment's step count and cycle cost are
+  pre-summed at compile time, so accounting is one addition per segment
+  instead of one per instruction.  Calls are singleton segments because
+  intrinsics observe ``result.cycles`` (``os_callback``, the HELIX
+  sequential markers) and can change the clock period (``clock_set``).
+* **exact trap accounting** — a fused segment charges its whole cost up
+  front; every raise site inside the generated code first subtracts the
+  not-yet-executed remainder (compile-time constants), so a trapping run
+  reports byte-identical ``steps``/``cycles`` to the reference walker.
+* **exact step budgets** — before running a segment the engine checks
+  whether the whole segment fits under ``step_limit``; if not (or when a
+  profiler observer is attached) it falls back to a per-instruction slow
+  path over the same closures that reproduces the reference
+  :class:`~repro.interp.interp.StepLimitExceeded` boundary exactly.
+* **phi moves** — pre-scheduled per predecessor edge as one generated
+  mover function (values are all read before any slot is written, so
+  phi cycles stay atomic).
+
+Compiled functions are cached in a module-versioned
+:class:`ExecutionEngine`, keyed by ``id(fn)`` with a strong reference to
+the Function — the same keying discipline as the PDG shards.  Engines
+live in a per-module registry (:func:`engine_for`) held by weak module
+references; invalidation is wired into ``Noelle.invalidate(fn)``,
+``Noelle.adopt_pdg()`` and the transactional pass manager's rollback
+path via :func:`invalidate_module`, so a rolled-back module never
+executes stale code.
+
+The switch between engines is ``NOELLE_ENGINE``:
+
+* ``compiled`` (default) — interpreters route defined-function calls
+  through the engine;
+* ``reference`` — the tree-walking interpreter runs everything, serving
+  as the differential-testing oracle.
+"""
+
+from __future__ import annotations
+
+import os
+import weakref
+
+from ..ir.instructions import (
+    Alloca,
+    BinaryOp,
+    Branch,
+    Call,
+    Cast,
+    CondBranch,
+    ElemPtr,
+    FCmp,
+    ICmp,
+    Load,
+    Phi,
+    Ret,
+    Select,
+    Store,
+    Switch,
+    Unreachable,
+)
+from ..ir.module import Function, Module
+from ..ir.types import ArrayType, IntType, StructType
+from ..ir.values import (
+    ConstantFloat,
+    ConstantInt,
+    ConstantNull,
+    GlobalVariable,
+    UndefValue,
+)
+from ..perf import STATS
+from .interp import (
+    INSTRUCTION_COSTS,
+    InterpError,
+    MemoryTrap,
+    StepLimitExceeded,
+    _FunctionAddress,
+)
+
+#: Environment variable selecting the execution engine.
+ENGINE_ENV = "NOELLE_ENGINE"
+
+_MODES = ("compiled", "reference")
+
+_TERMINATORS = (Branch, CondBranch, Switch, Ret, Unreachable)
+
+_ICMP_SYMBOLS = {
+    "eq": "==",
+    "ne": "!=",
+    "slt": "<",
+    "sle": "<=",
+    "sgt": ">",
+    "sge": ">=",
+}
+
+_FCMP_SYMBOLS = {
+    "oeq": "==",
+    "one": "!=",
+    "olt": "<",
+    "ole": "<=",
+    "ogt": ">",
+    "oge": ">=",
+}
+
+_BINARY_EXPRS = {
+    "add": "({a} + {b})",
+    "sub": "({a} - {b})",
+    "mul": "({a} * {b})",
+    "and": "({a} & {b})",
+    "or": "({a} | {b})",
+    "xor": "({a} ^ {b})",
+    "shl": "(({a}) << (({b}) % {w}))",
+    "ashr": "(({a}) >> (({b}) % {w}))",
+    "lshr": "((({a}) & {m}) >> (({b}) % {w}))",
+}
+
+
+def engine_mode(explicit: str | None = None) -> str:
+    """Resolve the engine mode: an explicit request wins, then the
+    ``NOELLE_ENGINE`` environment variable, then ``compiled``."""
+    mode = explicit if explicit is not None else os.environ.get(ENGINE_ENV, "")
+    mode = mode or "compiled"
+    if mode not in _MODES:
+        raise ValueError(
+            f"unknown engine mode {mode!r} (expected one of {_MODES})"
+        )
+    return mode
+
+
+class _Segment:
+    """A straight-line, call-free run of instructions inside one block.
+
+    ``fused`` executes the whole run in one generated function (used
+    after the pre-summed ``steps``/``cycles`` are charged in a single
+    addition); ``ops``/``insts``/``costs`` drive the per-instruction
+    slow path near step-budget boundaries and under profiler observers.
+    """
+
+    __slots__ = ("steps", "cycles", "fused", "ops", "insts", "costs")
+
+    def __init__(self, insts, costs):
+        self.insts = insts
+        self.costs = costs
+        self.steps = len(insts)
+        self.cycles = sum(costs)
+        self.fused = None
+        self.ops = ()
+
+
+class CompiledBlock:
+    """One basic block, lowered."""
+
+    __slots__ = (
+        "bb",
+        "nphis",
+        "phis",
+        "movers",
+        "move_pairs",
+        "segments",
+        "term_op",
+        "term_cost",
+        "term_inst",
+    )
+
+    def __init__(self, bb):
+        self.bb = bb
+        self.nphis = 0
+        self.phis = ()
+        #: id(pred BasicBlock) -> generated mover (or broken-edge raiser).
+        self.movers = {}
+        #: id(pred BasicBlock) -> tuple of (dst_slot, getter) for the
+        #: slow path, or a raiser callable for broken edges.
+        self.move_pairs = {}
+        self.segments = ()
+        self.term_op = None
+        self.term_cost = 0
+        self.term_inst = None
+
+
+class CompiledFunction:
+    """A function lowered to slot-frame closures."""
+
+    __slots__ = ("fn", "nslots", "arg_slots", "entry", "blocks", "refs")
+
+    def __init__(self, fn, nslots, arg_slots, entry, blocks, refs):
+        self.fn = fn
+        self.nslots = nslots
+        self.arg_slots = arg_slots
+        self.entry = entry
+        self.blocks = blocks
+        #: Keep-alive references for objects whose id() is baked into
+        #: generated code (globals, callees) — id reuse would be fatal.
+        self.refs = refs
+
+
+def _fa_cmp(predicate: str, a, b) -> int:
+    """Function-pointer comparison, mirroring ``Interpreter._icmp``.
+    Returns -1 for ordered predicates so the generated caller can fix
+    its accounting before raising."""
+    a_key = a.fn.name if a.__class__ is _FunctionAddress else a
+    b_key = b.fn.name if b.__class__ is _FunctionAddress else b
+    if predicate == "eq":
+        return 1 if a_key == b_key else 0
+    if predicate == "ne":
+        return 1 if a_key != b_key else 0
+    return -1
+
+
+def _slot_getter(i):
+    return lambda st, regs: regs[i]
+
+
+def _const_getter(c):
+    return lambda st, regs: c
+
+
+def _global_getter(g):
+    return lambda st, regs: st.globals[g]
+
+
+def _broken_edge_raiser(message):
+    def raiser(st, regs):
+        raise KeyError(message)
+
+    return raiser
+
+
+class _Compiler:
+    """Lowers one Function to generated Python source, exec'd once."""
+
+    def __init__(self, engine: "ExecutionEngine", fn: Function):
+        self.engine = engine
+        self.fn = fn
+        self.slots: dict[int, int] = {}
+        self.refs: list[object] = []
+        self.ns: dict[str, object] = {
+            "InterpError": InterpError,
+            "MemoryTrap": MemoryTrap,
+            "_FunctionAddress": _FunctionAddress,
+            "_fa_cmp": _fa_cmp,
+            "_INF": float("inf"),
+        }
+        self._unique = 0
+
+    # -- small helpers ---------------------------------------------------------
+
+    def _name(self, prefix: str) -> str:
+        self._unique += 1
+        return f"{prefix}{self._unique}"
+
+    def _bind(self, obj, prefix: str = "_C") -> str:
+        name = self._name(prefix)
+        self.ns[name] = obj
+        return name
+
+    def _expr(self, v) -> str:
+        """Render an operand: a slot read, or the constant folded in."""
+        slot = self.slots.get(id(v))
+        if slot is not None:
+            return f"regs[{slot}]"
+        if isinstance(v, ConstantInt):
+            return repr(v.value)
+        if isinstance(v, ConstantFloat):
+            x = v.value
+            if x != x or x in (float("inf"), float("-inf")):
+                return self._bind(x)
+            return repr(x)
+        if isinstance(v, (ConstantNull, UndefValue)):
+            return "0"
+        if isinstance(v, GlobalVariable):
+            self.refs.append(v)
+            return f"st.globals[{id(v)}]"
+        if isinstance(v, Function):
+            self.refs.append(v)
+            return self._bind(self.engine.address_of(v), "_FA")
+        raise InterpError(f"cannot evaluate {v!r}")
+
+    def _getter(self, v):
+        """Closure form of :meth:`_expr`, for the phi slow path."""
+        slot = self.slots.get(id(v))
+        if slot is not None:
+            return _slot_getter(slot)
+        if isinstance(v, (ConstantInt, ConstantFloat)):
+            return _const_getter(v.value)
+        if isinstance(v, (ConstantNull, UndefValue)):
+            return _const_getter(0)
+        if isinstance(v, GlobalVariable):
+            self.refs.append(v)
+            return _global_getter(id(v))
+        if isinstance(v, Function):
+            self.refs.append(v)
+            return _const_getter(self.engine.address_of(v))
+        raise InterpError(f"cannot evaluate {v!r}")
+
+    def _is_dynamic(self, v) -> bool:
+        """True when the operand could hold a function pointer at run
+        time (constants other than Functions never can)."""
+        return id(v) in self.slots
+
+    # -- instruction bodies ----------------------------------------------------
+    #
+    # Each emitter returns body lines (indented relative to the def's
+    # body).  ``corr`` holds accounting-correction statements spliced in
+    # before every raise: a fused segment pre-charges its whole cost, so
+    # a trap at position k must give back the not-yet-executed tail to
+    # stay byte-identical with the reference interpreter.  The slow path
+    # passes an empty ``corr`` (it accounts per instruction already).
+
+    def _raise(self, indent: str, corr: list[str], statement: str) -> list[str]:
+        return [indent + line for line in corr] + [indent + statement]
+
+    def _emit(self, inst, n: str, corr: list[str]) -> list[str]:
+        if isinstance(inst, BinaryOp):
+            return self._emit_binary(inst, n, corr)
+        if isinstance(inst, ICmp):
+            return self._emit_icmp(inst, n, corr)
+        if isinstance(inst, FCmp):
+            d = self.slots[id(inst)]
+            sym = _FCMP_SYMBOLS[inst.predicate]
+            a, b = self._expr(inst.lhs), self._expr(inst.rhs)
+            return [f"regs[{d}] = 1 if ({a}) {sym} ({b}) else 0"]
+        if isinstance(inst, Alloca):
+            d = self.slots[id(inst)]
+            size = inst.allocated_type.size_in_slots()
+            return [
+                f"a{n} = st.memory.allocate({size}, 'stack')",
+                f"regs[0].append(a{n})",
+                f"regs[{d}] = a{n}.base",
+            ]
+        if isinstance(inst, Load):
+            return self._emit_load(inst, n, corr)
+        if isinstance(inst, Store):
+            return self._emit_store(inst, n, corr)
+        if isinstance(inst, ElemPtr):
+            return self._emit_elem_ptr(inst, n, corr)
+        if isinstance(inst, Call):
+            return self._emit_call(inst, n, corr)
+        if isinstance(inst, Select):
+            d = self.slots[id(inst)]
+            c = self._expr(inst.condition)
+            t = self._expr(inst.true_value)
+            f = self._expr(inst.false_value)
+            return [f"regs[{d}] = ({t}) if ({c}) else ({f})"]
+        if isinstance(inst, Cast):
+            return self._emit_cast(inst, n, corr)
+        # Mirrors the reference walker's "cannot execute" arm (also hit
+        # by a phi that is not in leading position).
+        name = self._bind(inst, "_X")
+        return self._raise(
+            "", corr, f"raise InterpError('cannot execute %r' % ({name},))"
+        )
+
+    def _wrap(self, target: str, raw: str, width: int) -> list[str]:
+        """Inline ``wrap_int``: mask to width, then signed adjustment."""
+        full = 1 << width
+        half = full >> 1
+        mask = full - 1
+        return [
+            f"{target} = {raw} & {mask}",
+            f"{target} = {target} - {full} if {target} >= {half} else {target}",
+        ]
+
+    def _emit_binary(self, inst, n, corr):
+        op = inst.opcode
+        d = self.slots[id(inst)]
+        a, b = self._expr(inst.lhs), self._expr(inst.rhs)
+        if op.startswith("f"):
+            if op == "fdiv":
+                return [
+                    f"b{n} = {b}",
+                    f"regs[{d}] = ({a}) / b{n} if b{n} != 0 else _INF",
+                ]
+            sym = {"fadd": "+", "fsub": "-", "fmul": "*"}[op]
+            return [f"regs[{d}] = ({a}) {sym} ({b})"]
+        ty = inst.type
+        assert isinstance(ty, IntType)
+        w = ty.width
+        if op in ("sdiv", "srem"):
+            noun = "division" if op == "sdiv" else "remainder"
+            raw = (
+                f"int(a{n} / b{n})"
+                if op == "sdiv"
+                else f"(a{n} - int(a{n} / b{n}) * b{n})"
+            )
+            lines = [
+                f"a{n} = {a}",
+                f"b{n} = {b}",
+                f"if b{n} == 0:",
+                *self._raise(
+                    "    ", corr, f"raise InterpError('{noun} by zero')"
+                ),
+            ]
+            lines += self._wrap(f"regs[{d}]", raw, w)
+            return lines
+        template = _BINARY_EXPRS.get(op)
+        if template is None:
+            return self._raise(
+                "", corr, f"raise InterpError('unknown binary op {op}')"
+            )
+        raw = template.format(a=a, b=b, w=w, m=(1 << w) - 1)
+        return self._wrap(f"regs[{d}]", raw, w)
+
+    def _emit_icmp(self, inst, n, corr):
+        d = self.slots[id(inst)]
+        pred = inst.predicate
+        a, b = self._expr(inst.lhs), self._expr(inst.rhs)
+        if pred.startswith("u"):
+            width = (
+                inst.lhs.type.width
+                if isinstance(inst.lhs.type, IntType)
+                else 64
+            )
+            mask = (1 << width) - 1
+            sym = _ICMP_SYMBOLS["s" + pred[1:]]
+
+            def compare(x, y):
+                return f"1 if ({x}) & {mask} {sym} ({y}) & {mask} else 0"
+
+        else:
+            sym = _ICMP_SYMBOLS[pred]
+
+            def compare(x, y):
+                return f"1 if ({x}) {sym} ({y}) else 0"
+
+        checks = []
+        if self._is_dynamic(inst.lhs) or isinstance(inst.lhs, Function):
+            checks.append(f"a{n}.__class__ is _FunctionAddress")
+        if self._is_dynamic(inst.rhs) or isinstance(inst.rhs, Function):
+            checks.append(f"b{n}.__class__ is _FunctionAddress")
+        if not checks:
+            return [f"regs[{d}] = " + compare(a, b)]
+        lines = [f"a{n} = {a}", f"b{n} = {b}"]
+        lines.append("if " + " or ".join(checks) + ":")
+        lines.append(f"    r{n} = _fa_cmp({pred!r}, a{n}, b{n})")
+        lines.append(f"    if r{n} < 0:")
+        lines += self._raise(
+            "        ",
+            corr,
+            "raise InterpError('ordered comparison of function pointers')",
+        )
+        lines.append(f"    regs[{d}] = r{n}")
+        lines.append("else:")
+        lines.append(f"    regs[{d}] = " + compare(f"a{n}", f"b{n}"))
+        return lines
+
+    def _address_of(self, pointer, n, corr) -> list[str]:
+        """Materialize ``a{n}`` as a validated address, mirroring
+        ``Interpreter._as_address`` (checks elided for operands that are
+        provably integers at compile time)."""
+        lines = [f"a{n} = {self._expr(pointer)}"]
+        if self._is_dynamic(pointer) or isinstance(pointer, Function):
+            lines.append(f"if a{n}.__class__ is not int:")
+            lines.append(f"    if a{n}.__class__ is _FunctionAddress:")
+            lines += self._raise(
+                "        ",
+                corr,
+                "raise MemoryTrap('dereference of a function pointer')",
+            )
+            lines += self._raise(
+                "    ",
+                corr,
+                f"raise MemoryTrap('non-integer address %r' % (a{n},))",
+            )
+        return lines
+
+    def _emit_load(self, inst, n, corr):
+        d = self.slots[id(inst)]
+        lines = self._address_of(inst.pointer, n, corr)
+        lines.append("try:")
+        lines.append(f"    regs[{d}] = st.memory.slots[a{n}]")
+        lines.append("except KeyError:")
+        lines += self._raise(
+            "    ",
+            corr,
+            f"raise MemoryTrap('load from invalid address %d' % a{n}) "
+            "from None",
+        )
+        return lines
+
+    def _emit_store(self, inst, n, corr):
+        lines = self._address_of(inst.pointer, n, corr)
+        lines.append(f"m{n} = st.memory.slots")
+        lines.append(f"if a{n} in m{n}:")
+        lines.append(f"    m{n}[a{n}] = {self._expr(inst.value)}")
+        lines.append("else:")
+        lines += self._raise(
+            "    ",
+            corr,
+            f"raise MemoryTrap('store to invalid address %d' % a{n})",
+        )
+        return lines
+
+    def _emit_elem_ptr(self, inst, n, corr):
+        d = self.slots[id(inst)]
+        lines = self._address_of(inst.base, n, corr)
+        terms: list[str] = []
+        constant = 0
+
+        def add(index_value, scale):
+            nonlocal constant
+            if isinstance(index_value, ConstantInt):
+                constant += index_value.value * scale
+            elif scale == 1:
+                terms.append(f"({self._expr(index_value)})")
+            elif scale:
+                terms.append(f"({self._expr(index_value)}) * {scale}")
+
+        indices = inst.indices
+        current = inst.base.type.pointee
+        add(indices[0], current.size_in_slots())
+        for index_value in indices[1:]:
+            if isinstance(current, ArrayType):
+                add(index_value, current.element.size_in_slots())
+                current = current.element
+            elif isinstance(current, StructType):
+                if not isinstance(index_value, ConstantInt):
+                    raise InterpError(
+                        f"dynamic struct index in {inst.ref()}"
+                    )
+                constant += current.field_offset(index_value.value)
+                current = current.fields[index_value.value]
+            else:
+                return lines + self._raise(
+                    "",
+                    corr,
+                    f"raise InterpError('bad elem_ptr into {current}')",
+                )
+        if constant or not terms:
+            terms.append(str(constant))
+        lines.append(f"regs[{d}] = a{n} + " + " + ".join(terms))
+        return lines
+
+    def _emit_call(self, inst, n, corr):
+        args = "[" + ", ".join(self._expr(a) for a in inst.args) + "]"
+        store = "" if inst.type.is_void() else f"regs[{self.slots[id(inst)]}] = "
+        callee = inst.called_function()
+        if callee is not None:
+            self.refs.append(callee)
+            name = self._bind(callee, "_F")
+            return [f"{store}st.call_function({name}, {args})"]
+        lines = [f"t{n} = {self._expr(inst.callee)}"]
+        lines.append(f"if t{n}.__class__ is not _FunctionAddress:")
+        lines += self._raise(
+            "    ",
+            corr,
+            f"raise MemoryTrap('indirect call to non-function %r' % (t{n},))",
+        )
+        lines.append(f"{store}st.call_function(t{n}.fn, {args})")
+        return lines
+
+    def _emit_cast(self, inst, n, corr):
+        d = self.slots[id(inst)]
+        op = inst.opcode
+        v = self._expr(inst.value)
+        if op in ("bitcast", "ptrtoint", "inttoptr"):
+            return [f"regs[{d}] = {v}"]
+        if op in ("trunc", "sext"):
+            return self._wrap(f"regs[{d}]", f"({v})", inst.type.width)
+        if op == "zext":
+            src_mask = (1 << inst.value.type.width) - 1
+            return self._wrap(
+                f"regs[{d}]", f"({v}) & {src_mask}", inst.type.width
+            )
+        if op == "sitofp":
+            return [f"regs[{d}] = float({v})"]
+        if op == "fptosi":
+            return self._wrap(f"regs[{d}]", f"int({v})", inst.type.width)
+        return self._raise(
+            "", corr, f"raise InterpError('unknown cast {op}')"
+        )
+
+    def _emit_terminator(self, inst, block_names) -> list[str]:
+        if isinstance(inst, Branch):
+            return [f"return {block_names[id(inst.target)]}"]
+        if isinstance(inst, CondBranch):
+            c = self._expr(inst.condition)
+            t = block_names[id(inst.true_block)]
+            f = block_names[id(inst.false_block)]
+            return [f"return {t} if ({c}) else {f}"]
+        if isinstance(inst, Switch):
+            table = {}
+            for const, target in inst.cases():
+                if const.value not in table:
+                    table[const.value] = self.ns[block_names[id(target)]]
+            name = self._bind(table, "_SW")
+            default = block_names[id(inst.default)]
+            return [f"return {name}.get({self._expr(inst.value)}, {default})"]
+        if isinstance(inst, Ret):
+            if inst.value is None:
+                return ["return None"]
+            return [f"regs[1] = {self._expr(inst.value)}", "return None"]
+        assert isinstance(inst, Unreachable)
+        return ["raise InterpError('executed unreachable')"]
+
+    # -- function assembly -----------------------------------------------------
+
+    def compile(self) -> CompiledFunction:
+        fn = self.fn
+        nslots = 2
+        arg_slots = []
+        for arg in fn.args:
+            self.slots[id(arg)] = nslots
+            arg_slots.append(nslots)
+            nslots += 1
+        for block in fn.blocks:
+            for inst in block.instructions:
+                if not inst.type.is_void():
+                    self.slots[id(inst)] = nslots
+                    nslots += 1
+
+        compiled = [CompiledBlock(bb) for bb in fn.blocks]
+        block_names = {}
+        for i, cb in enumerate(compiled):
+            block_names[id(cb.bb)] = f"_B{i}"
+            self.ns[f"_B{i}"] = cb
+
+        defs: list[tuple[str, list[str]]] = []
+        # (cb, [(segment, fused_name, [op_names...])...], term_name)
+        fixups = []
+
+        for cb in compiled:
+            insts = cb.bb.instructions
+            index = 0
+            phis = []
+            while index < len(insts) and isinstance(insts[index], Phi):
+                phis.append(insts[index])
+                index += 1
+            if phis:
+                self._schedule_phis(cb, phis, defs)
+
+            terminator = None
+            segments: list[tuple[_Segment, str, list[str]]] = []
+            run: list = []
+
+            def flush():
+                if not run:
+                    return
+                costs = [INSTRUCTION_COSTS.get(i.opcode, 1) for i in run]
+                seg = _Segment(tuple(run), tuple(costs))
+                fused_name = self._name("_s")
+                fused_body: list[str] = []
+                op_names: list[str] = []
+                for k, seg_inst in enumerate(run):
+                    n = self._name("")
+                    remaining_steps = seg.steps - (k + 1)
+                    remaining_cycles = seg.cycles - sum(costs[: k + 1])
+                    corr = []
+                    if remaining_steps:
+                        corr.append(f"st.result.steps -= {remaining_steps}")
+                    if remaining_cycles:
+                        corr.append(f"st.result.cycles -= {remaining_cycles}")
+                        corr.append(
+                            "st.weighted_cycles -= "
+                            f"{remaining_cycles} * st.clock_period"
+                        )
+                    fused_body += self._emit(seg_inst, n, corr)
+                    op_name = f"_i{n}"
+                    defs.append((op_name, self._emit(seg_inst, n, [])))
+                    op_names.append(op_name)
+                defs.append((fused_name, fused_body))
+                segments.append((seg, fused_name, op_names))
+                run.clear()
+
+            for inst in insts[index:]:
+                if isinstance(inst, _TERMINATORS):
+                    terminator = inst
+                    break
+                if isinstance(inst, Call):
+                    flush()
+                    run.append(inst)
+                    flush()
+                else:
+                    run.append(inst)
+            flush()
+
+            term_name = None
+            if terminator is not None:
+                term_name = self._name("_t")
+                defs.append(
+                    (term_name, self._emit_terminator(terminator, block_names))
+                )
+                cb.term_inst = terminator
+                cb.term_cost = INSTRUCTION_COSTS.get(terminator.opcode, 1)
+            fixups.append((cb, segments, term_name))
+
+        source_lines = []
+        for name, body in defs:
+            source_lines.append(f"def {name}(st, regs):")
+            for line in body:
+                source_lines.append("    " + line)
+            source_lines.append("")
+        code = compile(
+            "\n".join(source_lines), f"<engine:{fn.name}>", "exec"
+        )
+        exec(code, self.ns)
+
+        for cb, segments, term_name in fixups:
+            wired = []
+            for seg, fused_name, op_names in segments:
+                seg.fused = self.ns[fused_name]
+                seg.ops = tuple(self.ns[name] for name in op_names)
+                wired.append(seg)
+            cb.segments = tuple(wired)
+            if term_name is not None:
+                cb.term_op = self.ns[term_name]
+            else:
+                cb.term_op = _fell_through_raiser(cb.bb.name)
+            for pkey, mover_name in cb.movers.items():
+                if isinstance(mover_name, str):
+                    cb.movers[pkey] = self.ns[mover_name]
+
+        return CompiledFunction(
+            fn, nslots, tuple(arg_slots), compiled[0], tuple(compiled), self.refs
+        )
+
+    def _schedule_phis(self, cb, phis, defs) -> None:
+        cb.nphis = len(phis)
+        cb.phis = tuple(phis)
+        preds = []
+        seen = set()
+        for phi in phis:
+            for _value, pred in phi.incoming():
+                if id(pred) not in seen:
+                    seen.add(id(pred))
+                    preds.append(pred)
+        for pred in preds:
+            pairs = []
+            broken = None
+            for phi in phis:
+                try:
+                    value = phi.incoming_value_for(pred)
+                except KeyError:
+                    broken = phi
+                    break
+                pairs.append((self.slots[id(phi)], value))
+            if broken is not None:
+                raiser = _broken_edge_raiser(
+                    f"phi {broken.ref()} has no incoming edge from "
+                    f"{pred.name}"
+                )
+                cb.movers[id(pred)] = raiser
+                cb.move_pairs[id(pred)] = raiser
+                continue
+            mover_name = self._name("_m")
+            if len(pairs) == 1:
+                dst, value = pairs[0]
+                body = [f"regs[{dst}] = {self._expr(value)}"]
+            else:
+                # All sources are read before any destination is
+                # written, keeping the parallel phi move atomic.
+                body = [
+                    f"t{i} = {self._expr(value)}"
+                    for i, (_dst, value) in enumerate(pairs)
+                ]
+                body += [
+                    f"regs[{dst}] = t{i}"
+                    for i, (dst, _value) in enumerate(pairs)
+                ]
+            defs.append((mover_name, body))
+            cb.movers[id(pred)] = mover_name
+            cb.move_pairs[id(pred)] = tuple(
+                (dst, self._getter(value)) for dst, value in pairs
+            )
+
+
+def _fell_through_raiser(block_name):
+    def raiser(st, regs):
+        raise AssertionError(f"block %{block_name} fell through")
+
+    return raiser
+
+
+def _phis_slow(st, block, prev, regs):
+    """Per-phi move with reference-exact accounting and observer calls."""
+    if prev is None:
+        raise AssertionError("phi in entry block")
+    pairs = block.move_pairs.get(id(prev.bb))
+    if pairs is None:
+        phi = block.phis[0]
+        raise KeyError(
+            f"phi {phi.ref()} has no incoming edge from {prev.bb.name}"
+        )
+    if callable(pairs):
+        pairs(st, regs)
+    values = [getter(st, regs) for _dst, getter in pairs]
+    result = st.result
+    limit = st.step_limit
+    observer = st.observer
+    phis = block.phis
+    for i, (dst, _getter) in enumerate(pairs):
+        regs[dst] = values[i]
+        result.steps += 1
+        if result.steps > limit:
+            raise StepLimitExceeded(f"exceeded {limit} steps")
+        if observer is not None:
+            observer(phis[i])
+
+
+def _seg_slow(st, seg, regs):
+    """Per-instruction execution of one segment: the exact reference
+    accounting order (charge, check, observe, execute)."""
+    result = st.result
+    limit = st.step_limit
+    observer = st.observer
+    ops = seg.ops
+    costs = seg.costs
+    insts = seg.insts
+    clock = st.clock_period
+    for i in range(len(ops)):
+        result.steps += 1
+        if result.steps > limit:
+            raise StepLimitExceeded(f"exceeded {limit} steps")
+        cost = costs[i]
+        result.cycles += cost
+        st.weighted_cycles += cost * clock
+        if observer is not None:
+            observer(insts[i])
+        ops[i](st, regs)
+
+
+class ExecutionEngine:
+    """Per-module cache of compiled functions.
+
+    Keyed by ``id(fn)`` with a strong Function reference inside each
+    :class:`CompiledFunction` (identical to the PDG shard discipline —
+    the strong ref pins the id).  ``version`` counts full invalidations;
+    the pass manager's rollback path bumps it so code compiled before a
+    rollback can never run after one.
+    """
+
+    def __init__(self) -> None:
+        self.functions: dict[int, CompiledFunction] = {}
+        self.version = 0
+        self._addresses: dict[int, _FunctionAddress] = {}
+
+    def address_of(self, fn: Function) -> _FunctionAddress:
+        """A canonical function-pointer value per Function (semantics
+        only need name equality, but sharing avoids churn)."""
+        address = self._addresses.get(id(fn))
+        if address is None:
+            address = _FunctionAddress(fn)
+            self._addresses[id(fn)] = address
+        return address
+
+    def compiled(self, fn: Function) -> CompiledFunction:
+        cf = self.functions.get(id(fn))
+        if cf is None:
+            with STATS.timer("engine.compile"):
+                cf = _Compiler(self, fn).compile()
+            self.functions[id(fn)] = cf
+            STATS.count("engine.compiles")
+            STATS.count("engine.blocks_lowered", len(cf.blocks))
+        return cf
+
+    def invalidate(self, fn: Function | None = None) -> None:
+        """Drop one function's code (``fn``) or everything (None)."""
+        if fn is not None:
+            if self.functions.pop(id(fn), None) is not None:
+                STATS.count("engine.invalidations")
+            return
+        if self.functions:
+            STATS.count("engine.invalidations", len(self.functions))
+        self.functions.clear()
+        self._addresses.clear()
+        self.version += 1
+
+    # -- execution -------------------------------------------------------------
+
+    def call(self, st, fn: Function, args: list[object]):
+        """Execute one defined function on interpreter state ``st``."""
+        cf = self.functions.get(id(fn))
+        if cf is None:
+            cf = self.compiled(fn)
+        else:
+            STATS.count("engine.cache_hits")
+        regs = [None] * cf.nslots
+        allocs: list = []
+        regs[0] = allocs
+        for slot, value in zip(cf.arg_slots, args):
+            regs[slot] = value
+        try:
+            return self._run(st, cf, regs)
+        finally:
+            memory = st.memory
+            for alloc in allocs:
+                if alloc.alive:
+                    memory.release(alloc.base)
+
+    def _run(self, st, cf, regs):
+        result = st.result
+        limit = st.step_limit
+        observer = st.observer
+        edge_observer = st.edge_observer
+        block = cf.entry
+        prev = None
+        executed = 0
+        try:
+            while True:
+                executed += 1
+                nphis = block.nphis
+                if nphis:
+                    mover = (
+                        block.movers.get(id(prev.bb))
+                        if prev is not None
+                        else None
+                    )
+                    if (
+                        mover is None
+                        or observer is not None
+                        or result.steps + nphis > limit
+                    ):
+                        _phis_slow(st, block, prev, regs)
+                    else:
+                        mover(st, regs)
+                        result.steps += nphis
+                for seg in block.segments:
+                    if observer is None and result.steps + seg.steps <= limit:
+                        result.steps += seg.steps
+                        cycles = seg.cycles
+                        result.cycles += cycles
+                        st.weighted_cycles += cycles * st.clock_period
+                        seg.fused(st, regs)
+                    else:
+                        _seg_slow(st, seg, regs)
+                result.steps += 1
+                if result.steps > limit:
+                    raise StepLimitExceeded(f"exceeded {limit} steps")
+                cost = block.term_cost
+                result.cycles += cost
+                st.weighted_cycles += cost * st.clock_period
+                if observer is not None:
+                    observer(block.term_inst)
+                next_block = block.term_op(st, regs)
+                if next_block is None:
+                    return regs[1]
+                if edge_observer is not None:
+                    edge_observer(block.bb, next_block.bb)
+                prev = block
+                block = next_block
+        finally:
+            STATS.count("engine.blocks_compiled", executed)
+
+
+#: Per-module engine registry.  Weak module keys: an engine holds no
+#: reference to its module (only to the Functions it compiled), so
+#: dropping the module drops the engine.
+_ENGINES: "weakref.WeakKeyDictionary[Module, ExecutionEngine]" = (
+    weakref.WeakKeyDictionary()
+)
+
+
+def engine_for(module: Module) -> ExecutionEngine:
+    """The (lazily created) engine caching compiled code for ``module``."""
+    engine = _ENGINES.get(module)
+    if engine is None:
+        engine = ExecutionEngine()
+        _ENGINES[module] = engine
+    return engine
+
+
+def invalidate_module(module: Module, fn: Function | None = None) -> None:
+    """Invalidate compiled code for ``module`` (one function or all)
+    without instantiating an engine when none exists yet."""
+    engine = _ENGINES.get(module)
+    if engine is not None:
+        engine.invalidate(fn)

@@ -55,6 +55,7 @@ from ..ir.values import (
     Value,
     wrap_int,
 )
+from ..perf import STATS
 
 #: Cycle costs per opcode — a simple in-order machine model.
 INSTRUCTION_COSTS: dict[str, int] = {
@@ -304,6 +305,7 @@ class Interpreter:
         module: Module,
         step_limit: int = 50_000_000,
         cost_model: dict[str, int] | None = None,
+        engine: str | None = None,
     ):
         self.module = module
         self.step_limit = step_limit
@@ -327,6 +329,22 @@ class Interpreter:
         #: Accumulated energy-ish metric: cycles * clock period.
         self.weighted_cycles = 0
         self._queues: dict[int, object] = {}
+        #: The compiled execution engine routing this interpreter's
+        #: defined-function calls, or None for the reference walker.
+        #: Resolution order: explicit ``engine=`` argument, then the
+        #: NOELLE_ENGINE environment variable, then "compiled".  Custom
+        #: cost models always run on the reference walker (the engine
+        #: bakes INSTRUCTION_COSTS into compiled segments).
+        if cost_model:
+            self.engine = None
+        else:
+            from .engine import engine_for, engine_mode
+
+            self.engine = (
+                engine_for(module)
+                if engine_mode(engine) == "compiled"
+                else None
+            )
         self._init_globals()
 
     # -- setup ------------------------------------------------------------------
@@ -376,6 +394,8 @@ class Interpreter:
             self.call_observer(fn)
         if fn.is_declaration():
             return self._call_intrinsic(fn, args)
+        if self.engine is not None:
+            return self.engine.call(self, fn, args)
         frame: dict[int, object] = {}
         for formal, actual in zip(fn.args, args):
             frame[id(formal)] = actual
@@ -392,32 +412,37 @@ class Interpreter:
     ) -> object:
         block = fn.entry
         prev_block: BasicBlock | None = None
-        while True:
-            next_block: BasicBlock | None = None
-            # Evaluate phis atomically against the incoming edge.
-            phi_values: list[tuple[Phi, object]] = []
-            for inst in block.instructions:
-                if isinstance(inst, Phi):
-                    assert prev_block is not None, "phi in entry block"
-                    incoming = inst.incoming_value_for(prev_block)
-                    phi_values.append((inst, self._value(incoming, frame)))
-                else:
-                    break
-            for phi, value in phi_values:
-                frame[id(phi)] = value
-                self._account(phi)
-            for inst in block.instructions[len(phi_values) :]:
-                self._account(inst)
-                outcome = self._execute(inst, frame, frame_allocs)
-                if isinstance(outcome, _Return):
-                    return outcome.value
-                if isinstance(outcome, BasicBlock):
-                    next_block = outcome
-                    break
-            assert next_block is not None, f"block %{block.name} fell through"
-            if self.edge_observer is not None:
-                self.edge_observer(block, next_block)
-            prev_block, block = block, next_block
+        executed_blocks = 0
+        try:
+            while True:
+                executed_blocks += 1
+                next_block: BasicBlock | None = None
+                # Evaluate phis atomically against the incoming edge.
+                phi_values: list[tuple[Phi, object]] = []
+                for inst in block.instructions:
+                    if isinstance(inst, Phi):
+                        assert prev_block is not None, "phi in entry block"
+                        incoming = inst.incoming_value_for(prev_block)
+                        phi_values.append((inst, self._value(incoming, frame)))
+                    else:
+                        break
+                for phi, value in phi_values:
+                    frame[id(phi)] = value
+                    self._account(phi)
+                for inst in block.instructions[len(phi_values) :]:
+                    self._account(inst)
+                    outcome = self._execute(inst, frame, frame_allocs)
+                    if isinstance(outcome, _Return):
+                        return outcome.value
+                    if isinstance(outcome, BasicBlock):
+                        next_block = outcome
+                        break
+                assert next_block is not None, f"block %{block.name} fell through"
+                if self.edge_observer is not None:
+                    self.edge_observer(block, next_block)
+                prev_block, block = block, next_block
+        finally:
+            STATS.count("engine.blocks_reference", executed_blocks)
 
     def _account(self, inst: Instruction) -> None:
         self.result.steps += 1
@@ -779,6 +804,9 @@ def run_module(
     function_name: str = "main",
     args: list[object] | None = None,
     step_limit: int = 50_000_000,
+    engine: str | None = None,
 ) -> ExecutionResult:
     """One-shot convenience: interpret ``function_name`` in a fresh state."""
-    return Interpreter(module, step_limit=step_limit).run(function_name, args)
+    return Interpreter(module, step_limit=step_limit, engine=engine).run(
+        function_name, args
+    )

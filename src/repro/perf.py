@@ -2,8 +2,12 @@
 
 Named counters and timers with near-zero overhead, threaded through the
 expensive paths of the abstraction layer (points-to solving, PDG shard
-construction, alias-query memoization, transform pipelines).  Two ways to
-see the numbers:
+construction, alias-query memoization, transform pipelines) and the
+execution engine (``engine.compiles``, the ``engine.compile`` timer,
+``engine.cache_hits``, ``engine.invalidations``, and the
+``engine.blocks_compiled`` / ``engine.blocks_reference`` split showing
+which engine actually executed each run's blocks).  Two ways to see the
+numbers:
 
 * set ``NOELLE_STATS=1`` in the environment — a table is printed to
   stderr when the process exits;

@@ -28,6 +28,7 @@ from __future__ import annotations
 import copy
 
 from ..interp import interp as _interp
+from ..interp.engine import invalidate_module
 from ..ir import parse_module, print_module, verify_module
 from ..perf import STATS
 from . import faults
@@ -203,6 +204,11 @@ class PassManager:
                 f"rollback of module {module.name!r} is not byte-identical "
                 "(printer/parser round-trip drift)"
             )
+        # Every Function object was just replaced: compiled code keyed to
+        # the old bodies must never run again.  ``_rollback`` also does a
+        # full ``noelle.invalidate()``, but restore must be safe on its
+        # own — a rolled-back module never executes stale code.
+        invalidate_module(module)
 
     def _rollback(self, result, snapshot, error, phase, budget) -> None:
         with faults.suspended():

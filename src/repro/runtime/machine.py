@@ -60,8 +60,9 @@ class ParallelMachine(Interpreter):
         architecture: ArchitectureDescription | None = None,
         num_cores: int | None = None,
         step_limit: int = 200_000_000,
+        engine: str | None = None,
     ):
-        super().__init__(module, step_limit=step_limit)
+        super().__init__(module, step_limit=step_limit, engine=engine)
         self.architecture = architecture or ArchitectureDescription.haswell_like()
         #: Override of the core count; None uses the dispatch argument.
         self.num_cores_override = num_cores

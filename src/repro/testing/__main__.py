@@ -1,6 +1,7 @@
 """Run one micro test under one configuration (the bash script's worker).
 
 Usage:  python -m repro.testing --test loop_for_sum_n17_s1 --config doall
+        python -m repro.testing --all --jobs 8
         python -m repro.testing --list
         python -m repro.testing --emit-script > run_all.sh
 """
@@ -11,13 +12,23 @@ import argparse
 import sys
 
 from .corpus import build_corpus
-from .harness import DEFAULT_CONFIGS, generate_bash_script, run_micro_test
+from .harness import (
+    DEFAULT_CONFIGS,
+    generate_bash_script,
+    run_corpus,
+    run_micro_test,
+)
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="python -m repro.testing")
     parser.add_argument("--test")
     parser.add_argument("--config")
+    parser.add_argument("--all", action="store_true",
+                        help="run the whole corpus in-process")
+    parser.add_argument("--jobs", type=int, default=None, metavar="N",
+                        help="with --all: fan the (test, config) pairs "
+                        "out over N worker processes")
     parser.add_argument("--list", action="store_true")
     parser.add_argument("--emit-script", action="store_true")
     args = parser.parse_args(argv)
@@ -25,6 +36,18 @@ def main(argv: list[str] | None = None) -> int:
     if args.emit_script:
         sys.stdout.write(generate_bash_script())
         return 0
+    if args.all:
+        outcomes = run_corpus(DEFAULT_CONFIGS, jobs=args.jobs)
+        failures = 0
+        for outcome in outcomes:
+            if outcome.passed:
+                print(f"PASS {outcome.test.name} @ {outcome.config.name}")
+            else:
+                failures += 1
+                print(f"FAIL {outcome.test.name} @ {outcome.config.name}: "
+                      f"{outcome.detail}")
+        print(f"done ({failures} failures)")
+        return 1 if failures else 0
     corpus = {t.name: t for t in build_corpus()}
     if args.list:
         for name, test in corpus.items():

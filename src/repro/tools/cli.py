@@ -16,6 +16,7 @@ Files: ``.mc`` MiniC sources, ``.ir`` textual IR.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 from ..core.noelle import Noelle
@@ -186,6 +187,14 @@ def build_parser() -> argparse.ArgumentParser:
         "(equivalent to NOELLE_STATS=1)",
     )
     parser.add_argument(
+        "--engine",
+        choices=("compiled", "reference"),
+        default=None,
+        help="execution engine for every program run this invocation "
+        "makes (profiling, transforms, 'run'); equivalent to setting "
+        "NOELLE_ENGINE",
+    )
+    parser.add_argument(
         "--crash-dir",
         default=None,
         metavar="DIR",
@@ -237,6 +246,11 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
+    if args.engine is not None:
+        # Set before any interpreter is constructed: every run this
+        # command performs (including profiling inside transforms)
+        # resolves its engine from the environment.
+        os.environ["NOELLE_ENGINE"] = args.engine
     status = args.func(args)
     if args.stats and not stats_enabled():
         # NOELLE_STATS=1 already reports via atexit; avoid printing twice.

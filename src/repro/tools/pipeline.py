@@ -94,11 +94,15 @@ class Binary:
     """
 
     def __init__(self, module: Module, num_cores: int | None = None,
-                 architecture: ArchitectureDescription | None = None):
+                 architecture: ArchitectureDescription | None = None,
+                 engine: str | None = None):
         verify_module(module)
         self.module = module
         self.num_cores = num_cores
         self.architecture = architecture
+        #: Execution engine of the image ("compiled"/"reference"); None
+        #: defers to the NOELLE_ENGINE environment variable.
+        self.engine = engine
         self.link_options = link_options_of(module)
 
     def run(self, args: list[object] | None = None,
@@ -113,6 +117,7 @@ class Binary:
             self.module,
             architecture=self.architecture,
             num_cores=self.num_cores,
+            engine=self.engine,
         )
         result = machine.run(entry, args)
         result.parallel_executions = list(machine.executions)
@@ -123,9 +128,10 @@ def make_binary(
     module: Module,
     num_cores: int | None = None,
     architecture: ArchitectureDescription | None = None,
+    engine: str | None = None,
 ) -> Binary:
     """``noelle-bin``: finalize a module into a runnable image."""
-    return Binary(module, num_cores, architecture)
+    return Binary(module, num_cores, architecture, engine)
 
 
 def helix_pipeline(

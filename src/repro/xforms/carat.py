@@ -19,6 +19,7 @@ from __future__ import annotations
 from ..analysis.aa import underlying_object
 from ..core.dataflow import DataFlowEngine, DataFlowProblem
 from ..core.noelle import Noelle
+from ..interp.engine import invalidate_module
 from .. import ir
 from ..ir.intrinsics import declare_intrinsic
 
@@ -58,6 +59,7 @@ class CARAT:
             if fn.metadata.get("noelle.task"):
                 continue
             self.run_on_function(fn, stats)
+            invalidate_module(self.noelle.module, fn)
         return stats
 
     def run_on_function(self, fn: ir.Function, stats: CARATStats) -> None:

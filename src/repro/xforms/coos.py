@@ -15,6 +15,7 @@ CG bounds the cost of call sites by their callees' summaries.
 from __future__ import annotations
 
 from ..core.noelle import Noelle
+from ..interp.engine import invalidate_module
 from ..interp.interp import INSTRUCTION_COSTS, INTRINSIC_COSTS
 from .. import ir
 from ..ir.intrinsics import declare_intrinsic
@@ -37,6 +38,7 @@ class CompilerTiming:
             if fn.metadata.get("noelle.task"):
                 continue
             inserted += self.run_on_function(fn)
+            invalidate_module(self.noelle.module, fn)
         return inserted
 
     def run_on_function(self, fn: ir.Function) -> int:

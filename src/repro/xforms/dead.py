@@ -11,6 +11,7 @@ cannot offer (Table 3: 7512 vs 61 LoC).
 from __future__ import annotations
 
 from ..core.noelle import Noelle
+from ..interp.engine import invalidate_module
 from ..ir.module import Function
 
 
@@ -59,6 +60,7 @@ class DeadFunctionEliminator:
                     continue
             removed.append(fn.name)
             module.remove_function(fn.name)
+            invalidate_module(module, fn)
         return removed
 
     def _used_by_live_code(self, fn: Function, reachable: set[int]) -> bool:

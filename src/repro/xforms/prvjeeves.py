@@ -14,6 +14,7 @@ inside loops (the hot case), and SCD places the rewritten uses.
 from __future__ import annotations
 
 from ..core.noelle import Noelle
+from ..interp.engine import invalidate_module
 from .. import ir
 from ..ir.intrinsics import declare_intrinsic
 
@@ -66,6 +67,7 @@ class PRVJeeves:
                 replacement = declare_intrinsic(module, generator)
                 inst.set_operand(0, replacement)
                 selected[generator] = selected.get(generator, 0) + 1
+            invalidate_module(module, fn)
         return selected
 
     # -- quality requirements ----------------------------------------------------------

@@ -18,6 +18,7 @@ from __future__ import annotations
 
 from ..core.islands import dependence_graph_islands
 from ..core.noelle import Noelle
+from ..interp.engine import invalidate_module
 from .. import ir
 from ..ir.intrinsics import declare_intrinsic
 
@@ -62,6 +63,7 @@ class TimeSqueezer:
             if fn.metadata.get("noelle.task"):
                 continue
             self.run_on_function(fn, stats)
+            invalidate_module(self.noelle.module, fn)
         return stats
 
     def run_on_function(self, fn: ir.Function, stats: TimeSqueezerStats) -> None:
