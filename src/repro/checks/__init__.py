@@ -1,0 +1,29 @@
+"""Static analysis checkers and diagnostics (the checker subsystem).
+
+``run_checkers(module, noelle)`` is the entry point; see ``base.py``.
+"""
+
+from .base import (
+    CHECKER_REGISTRY,
+    CheckFailure,
+    Checker,
+    all_checker_names,
+    checks_enabled,
+    register_checker,
+    run_checkers,
+)
+from .diagnostics import SEVERITIES, Diagnostic, has_errors, worst_severity
+
+__all__ = [
+    "CHECKER_REGISTRY",
+    "CheckFailure",
+    "Checker",
+    "Diagnostic",
+    "SEVERITIES",
+    "all_checker_names",
+    "checks_enabled",
+    "has_errors",
+    "register_checker",
+    "run_checkers",
+    "worst_severity",
+]

@@ -1,0 +1,124 @@
+"""The checker framework: base class, registry, and driver.
+
+A :class:`Checker` is a read-only static analysis over a module that
+emits :class:`~repro.checks.diagnostics.Diagnostic` findings.  Checkers
+are built on the NOELLE abstractions (PDG shards, points-to, the DFE)
+rather than ad-hoc IR walks — the whole point of the subsystem is to
+demonstrate that the abstraction layer makes correctness tooling cheap.
+
+:func:`run_checkers` is the single driver everything routes through:
+the ``repro-noelle check`` CLI verb, the ``NOELLE_CHECKS=1`` post-pass
+gate in the transactional pass manager, and the tests.  It times each
+checker (``checks.<name>`` timers) and counts findings per severity
+(``checks.diagnostics.<severity>``) in the process-wide perf registry.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..perf import STATS
+from .diagnostics import Diagnostic, has_errors
+
+#: Environment variable enabling the post-pass checker gate.
+ENV_VAR = "NOELLE_CHECKS"
+
+
+class Checker:
+    """Base class of every registered checker."""
+
+    #: Registry key and diagnostic tag; subclasses must override.
+    name = "checker"
+
+    def run(self, module, noelle) -> list[Diagnostic]:
+        """Analyze ``module`` (read-only) and return the findings.
+
+        ``noelle`` is the facade to pull abstractions from; sharing the
+        caller's facade keeps analysis caches (PDG shards, points-to,
+        alias memos) warm across checkers and subsequent passes.
+        """
+        raise NotImplementedError
+
+
+#: name -> Checker subclass, in registration (= execution) order.
+CHECKER_REGISTRY: dict[str, type[Checker]] = {}
+
+
+def register_checker(cls: type[Checker]) -> type[Checker]:
+    """Class decorator adding ``cls`` to the registry."""
+    if not cls.name or cls.name == Checker.name:
+        raise ValueError(f"checker {cls!r} must define a unique name")
+    CHECKER_REGISTRY[cls.name] = cls
+    return cls
+
+
+def all_checker_names() -> list[str]:
+    _ensure_builtin_checkers()
+    return list(CHECKER_REGISTRY)
+
+
+def checks_enabled(environ=None) -> bool:
+    """True when ``NOELLE_CHECKS`` asks for the post-pass gate."""
+    value = (environ if environ is not None else os.environ).get(ENV_VAR, "")
+    return value not in ("", "0")
+
+
+class CheckFailure(Exception):
+    """Raised by the pass-manager gate when a checker reports errors.
+
+    Carries the full diagnostic list so the rollback path can serialize
+    it into the crash bundle.
+    """
+
+    def __init__(self, diagnostics: list[Diagnostic]):
+        errors = [d for d in diagnostics if d.severity == "error"]
+        preview = "; ".join(str(d) for d in errors[:3])
+        if len(errors) > 3:
+            preview += f"; ... ({len(errors) - 3} more)"
+        super().__init__(f"{len(errors)} checker error(s): {preview}")
+        self.diagnostics = diagnostics
+
+
+def _ensure_builtin_checkers() -> None:
+    """Import the built-in checkers so they self-register.
+
+    Lazy on purpose: importing this module (the pass manager does, to
+    read ``checks_enabled``) must not drag in the analysis stack.
+    """
+    from . import lint, races, sanitizer  # noqa: F401
+
+
+def run_checkers(module, noelle=None, names: list[str] | None = None):
+    """Run checkers over ``module`` and return the combined findings.
+
+    ``names`` selects a subset (registry order is kept); default is every
+    registered checker.  A fresh facade is built when the caller has none.
+    """
+    _ensure_builtin_checkers()
+    if noelle is None:
+        from ..core.noelle import Noelle
+
+        noelle = Noelle(module)
+    if names is None:
+        selected = list(CHECKER_REGISTRY)
+    else:
+        unknown = [n for n in names if n not in CHECKER_REGISTRY]
+        if unknown:
+            raise ValueError(
+                f"unknown checker(s) {unknown}; "
+                f"available: {sorted(CHECKER_REGISTRY)}"
+            )
+        selected = [n for n in CHECKER_REGISTRY if n in set(names)]
+    STATS.count("checks.runs")
+    diagnostics: list[Diagnostic] = []
+    with STATS.timer("checks.total"):
+        for name in selected:
+            checker = CHECKER_REGISTRY[name]()
+            with STATS.timer(f"checks.{name}"):
+                found = checker.run(module, noelle)
+            for diagnostic in found:
+                STATS.count(f"checks.diagnostics.{diagnostic.severity}")
+            diagnostics.extend(found)
+    if has_errors(diagnostics):
+        STATS.count("checks.failed_modules")
+    return diagnostics

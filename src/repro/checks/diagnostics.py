@@ -1,0 +1,101 @@
+"""Structured findings of the checker subsystem.
+
+A :class:`Diagnostic` is the unit of output every checker produces: a
+severity, the checker that emitted it, where in the module it points
+(function name and instruction reference as *strings*, so a diagnostic
+survives serialization into a crash bundle and stays meaningful after
+the module it described was rolled back), and a human-readable message.
+
+This module is dependency-light on purpose: the transactional pass
+manager serializes diagnostics into ``CrashBundle`` reports, so the
+dict form must round-trip through JSON without referencing IR objects.
+"""
+
+from __future__ import annotations
+
+#: Severities in ascending order of badness.  Only ``error`` findings
+#: fail the ``repro-noelle check`` exit code and the pass-manager gate;
+#: ``warning`` marks possible-but-unproven problems (e.g. a may-alias
+#: loop-carried dependence), ``info`` is lint-grade advice.
+SEVERITIES = ("info", "warning", "error")
+
+_RANK = {name: rank for rank, name in enumerate(SEVERITIES)}
+
+
+class Diagnostic:
+    """One checker finding, locatable and JSON-serializable."""
+
+    __slots__ = ("checker", "severity", "message", "function", "location",
+                 "pass_name")
+
+    def __init__(
+        self,
+        checker: str,
+        severity: str,
+        message: str,
+        function: str | None = None,
+        location: str | None = None,
+        pass_name: str | None = None,
+    ):
+        if severity not in SEVERITIES:
+            raise ValueError(
+                f"unknown severity {severity!r}; expected one of {SEVERITIES}"
+            )
+        self.checker = checker
+        self.severity = severity
+        self.message = message
+        #: Name of the function the finding is in (None for module-level).
+        self.function = function
+        #: Instruction/block reference text (e.g. ``%load.3``), if any.
+        self.location = location
+        #: The parallelization technique or pass the finding concerns
+        #: (e.g. "doall", "helix", "dswp"), when attributable.
+        self.pass_name = pass_name
+
+    @property
+    def rank(self) -> int:
+        return _RANK[self.severity]
+
+    def to_dict(self) -> dict:
+        return {
+            "checker": self.checker,
+            "severity": self.severity,
+            "message": self.message,
+            "function": self.function,
+            "location": self.location,
+            "pass": self.pass_name,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Diagnostic":
+        return cls(
+            data["checker"],
+            data["severity"],
+            data["message"],
+            function=data.get("function"),
+            location=data.get("location"),
+            pass_name=data.get("pass"),
+        )
+
+    def __str__(self) -> str:
+        where = self.function or "<module>"
+        if self.location:
+            where = f"{where}:{self.location}"
+        tag = f"[{self.checker}]"
+        return f"{self.severity}: {tag} {where}: {self.message}"
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Diagnostic {self}>"
+
+
+def worst_severity(diagnostics: list[Diagnostic]) -> str | None:
+    """The highest severity present, or None for an empty list."""
+    worst: str | None = None
+    for diagnostic in diagnostics:
+        if worst is None or diagnostic.rank > _RANK[worst]:
+            worst = diagnostic.severity
+    return worst
+
+
+def has_errors(diagnostics: list[Diagnostic]) -> bool:
+    return any(d.severity == "error" for d in diagnostics)

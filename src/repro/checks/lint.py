@@ -1,0 +1,92 @@
+"""IR lint: structural smells that are legal but usually unintended.
+
+Everything this checker reports is *valid* IR (the verifier accepts it)
+— the findings are advisory, so the checker never emits errors:
+
+* unreachable basic blocks (no path from the entry) — WARNING;
+* dead values: non-void, side-effect-free instructions with no users —
+  INFO (a cleanup pass would delete them);
+* non-canonical phis: a phi with a single incoming edge, or whose
+  incoming values are all identical — INFO (both fold to a copy).
+"""
+
+from __future__ import annotations
+
+from ..ir.instructions import Phi
+from .base import Checker, register_checker
+from .diagnostics import Diagnostic
+
+
+@register_checker
+class IRLint(Checker):
+    """Advisory structural findings; never produces errors."""
+
+    name = "lint"
+
+    def run(self, module, noelle) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for fn in module.defined_functions():
+            reachable = _reachable_blocks(fn)
+            for block in fn.blocks:
+                if id(block) not in reachable:
+                    diagnostics.append(
+                        Diagnostic(
+                            self.name,
+                            "warning",
+                            f"block {block.ref()} is unreachable from the entry",
+                            function=fn.name,
+                            location=block.ref(),
+                        )
+                    )
+            for inst in fn.instructions():
+                if (
+                    not inst.type.is_void()
+                    and not inst.has_side_effects()
+                    and not any(True for _ in inst.users())
+                ):
+                    diagnostics.append(
+                        Diagnostic(
+                            self.name,
+                            "info",
+                            f"value {inst.ref()} ({inst.opcode}) is never used",
+                            function=fn.name,
+                            location=inst.ref(),
+                        )
+                    )
+                if isinstance(inst, Phi):
+                    note = _phi_smell(inst)
+                    if note is not None:
+                        diagnostics.append(
+                            Diagnostic(
+                                self.name,
+                                "info",
+                                f"phi {inst.ref()} {note}",
+                                function=fn.name,
+                                location=inst.ref(),
+                            )
+                        )
+        return diagnostics
+
+
+def _reachable_blocks(fn) -> set[int]:
+    if not fn.blocks:
+        return set()
+    seen = {id(fn.entry)}
+    worklist = [fn.entry]
+    while worklist:
+        block = worklist.pop()
+        for succ in block.successors():
+            if id(succ) not in seen:
+                seen.add(id(succ))
+                worklist.append(succ)
+    return seen
+
+
+def _phi_smell(phi: Phi) -> str | None:
+    incoming = list(phi.incoming())
+    if len(incoming) == 1:
+        return "has a single incoming edge (folds to a copy)"
+    values = {id(value) for value, _ in incoming}
+    if len(values) == 1:
+        return "has identical incoming values (folds to a copy)"
+    return None

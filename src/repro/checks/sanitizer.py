@@ -1,0 +1,174 @@
+"""The memory sanitizer: use-before-init and static out-of-bounds.
+
+Two analyses, both built on existing abstractions rather than ad-hoc
+walks:
+
+* **use-before-init** — a forward *must-be-initialized* problem on the
+  DFE (intersection meet from TOP, empty at entry): an alloca id is in
+  the set when every path from the entry stores to it first.  A load
+  whose underlying object is a local alloca not in its IN set may read
+  uninitialized storage.  Stores gen the allocas they may write (via
+  ``underlying_object``, falling back to Andersen points-to); calls gen
+  every alloca they may mod (per the AA's mod/ref) so interprocedural
+  initialization does not produce false positives.  Findings are
+  WARNINGs, not ERRORs: the reference machine zero-initializes memory,
+  so the read is deterministic — just almost certainly unintended.
+
+* **out-of-bounds** — constant-folds ``elem_ptr`` index chains against
+  the statically known allocation type of a direct alloca/global base.
+  A non-zero leading index (stepping off a single object) or a constant
+  array index outside ``[0, count)`` is flagged: ERROR when the address
+  feeds a load/store directly, WARNING when it is only computed.
+"""
+
+from __future__ import annotations
+
+from ..analysis.aa import ModRefResult, underlying_object
+from ..ir.instructions import Alloca, Call, Cast, ElemPtr, Load, Store
+from ..ir.types import ArrayType, StructType
+from ..ir.values import ConstantInt, GlobalVariable
+from .base import Checker, register_checker
+from .diagnostics import Diagnostic
+
+
+@register_checker
+class MemorySanitizer(Checker):
+    """Flag use-before-init of allocas and statically OOB elem_ptrs."""
+
+    name = "sanitizer"
+
+    def run(self, module, noelle) -> list[Diagnostic]:
+        diagnostics: list[Diagnostic] = []
+        for fn in module.defined_functions():
+            diagnostics.extend(self._check_use_before_init(fn, noelle))
+            diagnostics.extend(self._check_bounds(fn))
+        return diagnostics
+
+    # -- use-before-init -----------------------------------------------------------
+    def _check_use_before_init(self, fn, noelle) -> list[Diagnostic]:
+        from ..core.dataflow import DataFlowProblem
+
+        allocas = [i for i in fn.instructions() if isinstance(i, Alloca)]
+        if not allocas:
+            return []
+        local_ids = {id(a) for a in allocas}
+        aa = noelle.alias_analysis()
+        pts = noelle.points_to()
+
+        def initialized_by(inst) -> set:
+            if isinstance(inst, Store):
+                root = underlying_object(inst.pointer)
+                if isinstance(root, Alloca) and id(root) in local_ids:
+                    return {id(root)}
+                targets = pts.points_to(inst.pointer)
+                if not targets or any(o.kind == "unknown" for o in targets):
+                    return set(local_ids)  # could write anything: stay quiet
+                return {
+                    id(o.site)
+                    for o in targets
+                    if o.kind == "alloca" and id(o.site) in local_ids
+                }
+            if isinstance(inst, Call):
+                return {
+                    id(a)
+                    for a in allocas
+                    if aa.mod_ref(inst, a) is not ModRefResult.NO_MOD_REF
+                }
+            return set()
+
+        problem = DataFlowProblem(
+            "forward", initialized_by, lambda inst: set(), meet="intersection"
+        )
+        result = noelle.dataflow_engine().run(fn, problem)
+        diagnostics = []
+        for inst in fn.instructions():
+            if not isinstance(inst, Load):
+                continue
+            root = underlying_object(inst.pointer)
+            if not (isinstance(root, Alloca) and id(root) in local_ids):
+                continue
+            if id(root) not in result.in_of(inst):
+                diagnostics.append(
+                    Diagnostic(
+                        self.name,
+                        "warning",
+                        f"load {inst.ref()} may read alloca "
+                        f"{root.ref()} before it is initialized",
+                        function=fn.name,
+                        location=inst.ref(),
+                    )
+                )
+        return diagnostics
+
+    # -- static bounds -------------------------------------------------------------
+    def _check_bounds(self, fn) -> list[Diagnostic]:
+        diagnostics = []
+        for inst in fn.instructions():
+            if not isinstance(inst, ElemPtr):
+                continue
+            problem = _fold_indices(inst)
+            if problem is None:
+                continue
+            severity = (
+                "error" if _directly_dereferenced(inst) else "warning"
+            )
+            diagnostics.append(
+                Diagnostic(
+                    self.name,
+                    severity,
+                    f"elem_ptr {inst.ref()} is statically out of bounds: "
+                    f"{problem}",
+                    function=fn.name,
+                    location=inst.ref(),
+                )
+            )
+        return diagnostics
+
+
+def _fold_indices(inst: ElemPtr) -> str | None:
+    """Description of the OOB condition, or None for in-bounds/unknown."""
+    base = inst.base
+    while isinstance(base, Cast):
+        base = base.value
+    if isinstance(base, Alloca):
+        allocated = base.allocated_type
+    elif isinstance(base, GlobalVariable):
+        allocated = base.allocated_type
+    else:
+        return None  # derived pointer: allocation extent unknown here
+    indices = inst.indices
+    first = indices[0]
+    if isinstance(first, ConstantInt) and first.value != 0:
+        return (
+            f"leading index {first.value} steps off the single "
+            f"{allocated} object {base.ref()}"
+        )
+    current = allocated
+    for index in indices[1:]:
+        if isinstance(current, ArrayType):
+            if isinstance(index, ConstantInt) and not (
+                0 <= index.value < current.count
+            ):
+                return (
+                    f"index {index.value} outside [0, {current.count}) "
+                    f"of {current} in {base.ref()}"
+                )
+            current = current.element
+        elif isinstance(current, StructType):
+            if not isinstance(index, ConstantInt):
+                return None  # verifier rejects this; don't double-report
+            if not 0 <= index.value < len(current.fields):
+                return None
+            current = current.fields[index.value]
+        else:
+            return None  # scalar level: nothing left to index
+    return None
+
+
+def _directly_dereferenced(inst: ElemPtr) -> bool:
+    for user in inst.users():
+        if isinstance(user, Load) and user.pointer is inst:
+            return True
+        if isinstance(user, Store) and user.pointer is inst:
+            return True
+    return False

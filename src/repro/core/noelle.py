@@ -181,6 +181,14 @@ class Noelle:
     def loop_scheduler(self, fn: Function) -> LoopScheduler:
         return LoopScheduler(fn, self.pdg())
 
+    # -- checkers -----------------------------------------------------------------------
+    def run_checks(self, names: list[str] | None = None):
+        """Run the checker suite over the module, reusing this facade's
+        cached abstractions; returns the list of diagnostics."""
+        from ..checks.base import run_checkers
+
+        return run_checkers(self.module, self, names=names)
+
     # -- metadata, profiles, architecture ------------------------------------------------
     def ids(self) -> IDAssigner:
         if self._ids is None:

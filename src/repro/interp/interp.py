@@ -324,6 +324,10 @@ class Interpreter:
         self.edge_observer = None
         #: Optional call observer(function) for profilers.
         self.call_observer = None
+        #: Optional memory observer(kind, address, instruction) with kind
+        #: "load"/"store", for the dynamic race oracle.  Setting it forces
+        #: the reference walker (compiled segments skip ``_execute``).
+        self.memory_observer = None
         #: Current simulated clock period (TIME squeezer experiments).
         self.clock_period = 10
         #: Accumulated energy-ish metric: cycles * clock period.
@@ -394,7 +398,7 @@ class Interpreter:
             self.call_observer(fn)
         if fn.is_declaration():
             return self._call_intrinsic(fn, args)
-        if self.engine is not None:
+        if self.engine is not None and self.memory_observer is None:
             return self.engine.call(self, fn, args)
         frame: dict[int, object] = {}
         for formal, actual in zip(fn.args, args):
@@ -489,10 +493,14 @@ class Interpreter:
             frame_allocs.append(alloc)
             frame[id(inst)] = alloc.base
         elif isinstance(inst, Load):
-            address = self._value(inst.pointer, frame)
-            frame[id(inst)] = self.memory.read(self._as_address(address))
+            address = self._as_address(self._value(inst.pointer, frame))
+            if self.memory_observer is not None:
+                self.memory_observer("load", address, inst)
+            frame[id(inst)] = self.memory.read(address)
         elif isinstance(inst, Store):
             address = self._as_address(self._value(inst.pointer, frame))
+            if self.memory_observer is not None:
+                self.memory_observer("store", address, inst)
             self.memory.write(address, self._value(inst.value, frame))
         elif isinstance(inst, ElemPtr):
             frame[id(inst)] = self._elem_ptr(inst, frame)

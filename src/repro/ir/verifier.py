@@ -201,6 +201,10 @@ def _check_ssa_dominance(fn: Function) -> None:
                     _check_reaches_edge(fn, dom, value, pred, positions)
                 continue
             for operand in inst.operands:
+                # A phi may consume its own result around a back edge;
+                # everywhere else a self-operand is a broken rewrite.
+                if operand is inst:
+                    _fail(fn, f"{inst} uses its own result")
                 if not isinstance(operand, Instruction):
                     _check_non_instruction_operand(fn, inst, operand)
                     continue

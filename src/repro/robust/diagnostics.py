@@ -124,13 +124,22 @@ class CrashBundle:
     """Everything needed to reproduce one rolled-back transaction offline."""
 
     def __init__(
-        self, index: int, pass_name: str, ir_text: str, error: TransformError
+        self,
+        index: int,
+        pass_name: str,
+        ir_text: str,
+        error: TransformError,
+        diagnostics: list[dict] | None = None,
     ):
         self.index = index
         self.pass_name = pass_name
         #: The pre-pass module, exactly as it was restored (byte-identical).
         self.ir_text = ir_text
         self.error = error
+        #: Checker findings (dict form) gathered before the rollback; an
+        #: empty list when no checkers ran — the key is always present in
+        #: ``report.json`` so the bundle schema is stable.
+        self.diagnostics = list(diagnostics) if diagnostics else []
         #: Filled in by :meth:`write`.
         self.path: Path | None = None
 
@@ -144,6 +153,7 @@ class CrashBundle:
             "pass": self.pass_name,
             "module_ir": MODULE_FILE,
             "error": self.error.to_dict(),
+            "diagnostics": self.diagnostics,
         }
         (directory / REPORT_FILE).write_text(json.dumps(report, indent=2) + "\n")
         self.path = directory
@@ -159,6 +169,7 @@ class CrashBundle:
             report["pass"],
             (directory / report["module_ir"]).read_text(),
             TransformError.from_dict(report["error"]),
+            diagnostics=report.get("diagnostics", []),
         )
         bundle.path = directory
         return bundle

@@ -58,7 +58,8 @@ class _Snapshot:
 class PassResult:
     """What happened to one transaction."""
 
-    __slots__ = ("name", "status", "value", "error", "seconds", "bundle")
+    __slots__ = ("name", "status", "value", "error", "seconds", "bundle",
+                 "diagnostics")
 
     def __init__(self, name: str):
         self.name = name
@@ -69,6 +70,9 @@ class PassResult:
         self.seconds = 0.0
         #: Path of the written crash bundle, when crash_dir was set.
         self.bundle = None
+        #: Checker findings from the post-pass gate (empty when the gate
+        #: is off or nothing was reported).
+        self.diagnostics = []
 
     @property
     def ok(self) -> bool:
@@ -94,11 +98,18 @@ class PassManager:
         step_budget: int | None = None,
         fault_plan: "FaultPlan | str | None" = "env",
         strict: bool = False,
+        checks: bool | None = None,
     ):
         self.noelle = noelle
         self.crash_dir = crash_dir
         self.deadline_s = deadline_s
         self.step_budget = step_budget
+        #: Post-pass checker gate; None defers to NOELLE_CHECKS.
+        if checks is None:
+            from ..checks.base import checks_enabled
+
+            checks = checks_enabled()
+        self.checks = checks
         #: The default "env" reads NOELLE_FAULTS; pass an explicit plan
         #: for deterministic tests, or None to disable injection outright.
         if fault_plan == "env":
@@ -140,6 +151,9 @@ class PassManager:
                 budget.check()
                 phase = "verify"
                 verify_module(self.module)
+                if self.checks:
+                    phase = "check"
+                    self._check_gate(result)
         except Exception as error:
             self._rollback(result, snapshot, error, phase, budget)
             if self.strict:
@@ -151,6 +165,16 @@ class PassManager:
             result.seconds = budget.elapsed()
             self.results.append(result)
         return result
+
+    def _check_gate(self, result: PassResult) -> None:
+        """Run the checker suite on the transformed module; ERROR findings
+        fail the transaction (→ rollback) like a verifier rejection."""
+        from ..checks.base import CheckFailure, run_checkers
+        from ..checks.diagnostics import has_errors
+
+        result.diagnostics = run_checkers(self.module, self.noelle)
+        if has_errors(result.diagnostics):
+            raise CheckFailure(result.diagnostics)
 
     def run_registered(self, name: str, **options) -> PassResult:
         """Run a pass from :data:`PASS_BUILDERS` by name (transactional)."""
@@ -229,7 +253,8 @@ class PassManager:
                 seconds=budget.elapsed(),
             )
             bundle = CrashBundle(
-                len(self.bundles), result.name, snapshot.text, result.error
+                len(self.bundles), result.name, snapshot.text, result.error,
+                diagnostics=[d.to_dict() for d in result.diagnostics],
             )
             if self.crash_dir is not None:
                 result.bundle = bundle.write(self.crash_dir)

@@ -153,6 +153,74 @@ def _cmd_dead(args) -> int:
     return 0
 
 
+def _load_check_module(args) -> Module:
+    """Resolve the ``check`` input: an .ir/.mc path or a workload name."""
+    if os.path.exists(args.input):
+        if args.input.endswith(".mc"):
+            return whole_ir_from_files([args.input], [])
+        return _load_ir(args.input)
+    from ..workloads import registry
+
+    try:
+        workload = registry.get(args.input)
+    except KeyError:
+        raise SystemExit(
+            f"repro-noelle check: {args.input!r} is neither a file nor a "
+            f"registered workload"
+        )
+    return workload.compile()
+
+
+def _cmd_check(args) -> int:
+    from ..checks import run_checkers, worst_severity
+    from ..checks.diagnostics import has_errors
+
+    module = _load_check_module(args)
+    noelle = Noelle(module)
+    if args.parallelize:
+        noelle.attach_profile(Profiler(module).profile())
+        manager = _manager_for(args, noelle)
+        manager.run_registered("rm-lc-dependences")
+        options = (
+            {"num_stages": args.stages}
+            if args.parallelize == "dswp"
+            else {"num_cores": args.cores}
+        )
+        manager.run_registered(args.parallelize, **options)
+        _report_rollbacks(manager)
+    names = args.checkers.split(",") if args.checkers else None
+    diagnostics = noelle.run_checks(names=names)
+    for diagnostic in diagnostics:
+        print(diagnostic)
+    if args.oracle:
+        from ..checks.oracle import RaceOracle
+
+        oracle = RaceOracle(module, num_cores=args.cores)
+        result = oracle.run()
+        if result.trapped:
+            print(f"oracle run trapped: {result.trapped}", file=sys.stderr)
+        for race in oracle.races:
+            print(f"dynamic: {race}")
+        statically_flagged = sum(
+            1 for d in diagnostics if d.checker == "races"
+        )
+        print(
+            f"oracle: {len(oracle.races)} dynamic race(s), "
+            f"{statically_flagged} static race finding(s)",
+            file=sys.stderr,
+        )
+    counts = {"error": 0, "warning": 0, "info": 0}
+    for diagnostic in diagnostics:
+        counts[diagnostic.severity] += 1
+    worst = worst_severity(diagnostics) or "clean"
+    print(
+        f"check: {counts['error']} error(s), {counts['warning']} warning(s), "
+        f"{counts['info']} info ({worst})",
+        file=sys.stderr,
+    )
+    return 1 if has_errors(diagnostics) else 0
+
+
 def _cmd_report(args) -> int:
     module = _load_ir(args.input)
     noelle = Noelle(module)
@@ -241,6 +309,36 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="PDG/loop/IV summary of an IR file")
     report.add_argument("input")
     report.set_defaults(func=_cmd_report)
+
+    check = sub.add_parser(
+        "check",
+        help="run the static checker suite (races/sanitizer/lint) over an "
+        "IR file, MiniC file, or registered workload; exits non-zero on "
+        "ERROR diagnostics",
+    )
+    check.add_argument("input", help="an .ir/.mc path or a workload name")
+    check.add_argument(
+        "--parallelize",
+        choices=("doall", "helix", "dswp"),
+        default=None,
+        help="parallelize first (profile + rm-lc-dependences + technique), "
+        "then check the transformed module",
+    )
+    check.add_argument("--cores", type=int, default=12)
+    check.add_argument("--stages", type=int, default=4)
+    check.add_argument(
+        "--checkers",
+        default=None,
+        metavar="NAMES",
+        help="comma-separated subset of checkers (default: all registered)",
+    )
+    check.add_argument(
+        "--oracle",
+        action="store_true",
+        help="also execute the module under the dynamic race oracle and "
+        "print observed races next to the static findings",
+    )
+    check.set_defaults(func=_cmd_check)
     return parser
 
 

@@ -85,6 +85,7 @@ class DOALL:
         )
         chunk_cloned_loop(skeleton)
         finish_task_with_reductions(self.noelle, skeleton, boundary, env)
+        skeleton.task.function.metadata["noelle.parallel"] = "doall"
         ir.verify_function(skeleton.task.function)
         call = replace_loop_with_dispatch(
             self.noelle, boundary, env, skeleton.task,

@@ -1,0 +1,131 @@
+"""Shared fixtures for the checker and oracle tests.
+
+The centerpiece is a HELIX-parallelized kernel whose loop carries a
+genuine cross-iteration dependence (the ``acc`` accumulator) next to
+fully independent array traffic.  HELIX brackets the accumulator in a
+sequential segment; erasing those markers yields the seeded "buggy
+parallelization" the acceptance tests must catch both statically (an
+ERROR from the race checker) and dynamically (the oracle observes the
+conflict).
+"""
+
+from repro.core import Noelle
+from repro.core.profiler import Profiler
+from repro.frontend import compile_source
+from repro.ir.instructions import Call
+from repro.tools import remove_loop_carried_dependences
+from repro.xforms import DOALL, DSWP, HELIX
+
+HELIX_KERNEL_SOURCE = """
+double acc;
+double xs[256];
+double ys[256];
+
+void kernel(int n) {
+  int i;
+  for (i = 0; i < n; i = i + 1) {
+    double v = xs[i];
+    double a = v * 1.1 + 0.5;
+    a = a * a + v;
+    a = a * 0.37 + 1.25;
+    a = a * a + 0.125;
+    a = a * 0.93 + v * 0.07;
+    a = a * a + 2.0;
+    ys[i] = a;
+    acc = acc + v;
+  }
+}
+
+int main() {
+  int i;
+  for (i = 0; i < 256; i = i + 1) {
+    xs[i] = (double)(i % 17) * 0.25;
+  }
+  kernel(256);
+  print_float(acc);
+  print_float(ys[100]);
+  return 0;
+}
+"""
+
+#: Independent iterations: eligible for DOALL.
+DOALL_SOURCE = """
+int xs[400];
+int ys[400];
+int main() {
+  int i;
+  for (i = 0; i < 400; i = i + 1) { xs[i] = (i * 17 + 3) % 101; }
+  for (i = 0; i < 400; i = i + 1) { ys[i] = xs[i] * 2 + 1; }
+  print_int(ys[123]);
+  return 0;
+}
+"""
+
+#: A chain of dependent computations: a natural DSWP pipeline.
+PIPELINE_SOURCE = """
+int main() {
+  int i; int s = 0;
+  for (i = 0; i < 700; i = i + 1) {
+    int a = (i * 13 + 5) % 101;
+    int b = (a * a + 7) % 97;
+    int c = (b * 31 + a) % 89;
+    s = s + c;
+  }
+  print_int(s);
+  return s;
+}
+"""
+
+SEGMENT_MARKERS = ("helix_seq_begin", "helix_seq_end")
+
+TASK_NAME = "kernel.helix.task"
+
+
+def build_helix_fixture():
+    """Compile and HELIX-parallelize the kernel; returns (module, noelle)."""
+    module = compile_source(HELIX_KERNEL_SOURCE, "helix-fixture")
+    noelle = Noelle(module)
+    target = next(
+        loop for loop in noelle.loops()
+        if loop.structure.function.name == "kernel"
+    )
+    HELIX(noelle, 4).parallelize(target)
+    noelle.invalidate()
+    return module, noelle
+
+
+def segment_marker_calls(task):
+    """Every helix_seq_begin/end call of ``task``, in program order."""
+    return [
+        inst
+        for inst in task.instructions()
+        if isinstance(inst, Call)
+        and inst.called_function() is not None
+        and inst.called_function().name in SEGMENT_MARKERS
+    ]
+
+
+def drop_sequential_segments(module, noelle):
+    """Erase the HELIX sequential-segment markers: the seeded bug."""
+    task = module.get_function(TASK_NAME)
+    for inst in segment_marker_calls(task):
+        inst.erase_from_parent()
+    noelle.invalidate()
+    return task
+
+
+def parallelize_source(source, technique, cores=4, stages=3):
+    """Compile + profile + rm-lc + parallelize; returns (module, noelle,
+    number of parallelized loops)."""
+    module = compile_source(source)
+    noelle = Noelle(module)
+    noelle.attach_profile(Profiler(module).profile())
+    remove_loop_carried_dependences(noelle)
+    if technique == "doall":
+        count = DOALL(noelle, cores).run()
+    elif technique == "helix":
+        count = HELIX(noelle, cores).run()
+    else:
+        count = DSWP(noelle, num_stages=stages).run()
+    noelle.invalidate()
+    return module, noelle, count

@@ -1,0 +1,87 @@
+"""The differential soundness contract of the race detector.
+
+For every registry workload (HELIX-parallelized the same way the
+pipeline does it) the static detector must *cover* every race the
+dynamic oracle observes — zero false negatives.  Over-approximation is
+allowed and surfaces only as the printed false-positive rate (pytest
+shows it with ``-s``; the warnings are SCEV imprecision after chunking
+that the oracle never confirms).
+"""
+
+import pytest
+
+from repro.checks import run_checkers
+from repro.checks.oracle import RaceOracle
+from repro.core import Noelle
+from repro.core.profiler import Profiler
+from repro.robust.passmanager import PassManager
+from repro.workloads.registry import all_workloads, get
+from tests.checks.fixtures import build_helix_fixture, drop_sequential_segments
+
+
+def helix_parallelize(module):
+    noelle = Noelle(module)
+    noelle.attach_profile(Profiler(module).profile())
+    manager = PassManager(noelle, fault_plan=None)
+    manager.run_registered("rm-lc-dependences")
+    manager.run_registered("helix", num_cores=4)
+    return noelle
+
+
+def differential(module, noelle, cores=4):
+    """Run static + dynamic analyses; assert every observed race is
+    covered by a static race finding.  Returns (diagnostics, oracle)."""
+    diagnostics = run_checkers(module, noelle)
+    static_races = [d for d in diagnostics if d.checker == "races"]
+    oracle = RaceOracle(module, num_cores=cores)
+    result = oracle.run()
+    assert result.trapped is None, result.trapped
+    for race in oracle.races:
+        covered = any(
+            d.pass_name == race.kind and d.function == race.task
+            for d in static_races
+        )
+        assert covered, f"oracle saw [{race}] but the static detector is silent"
+    confirmed = {(race.kind, race.task) for race in oracle.races}
+    unconfirmed = [
+        d for d in static_races
+        if (d.pass_name, d.function) not in confirmed
+    ]
+    rate = len(unconfirmed) / len(static_races) if static_races else 0.0
+    print(
+        f"static={len(static_races)} dynamic={len(oracle.races)} "
+        f"false-positive-rate={rate:.2f}"
+    )
+    return diagnostics, oracle
+
+
+@pytest.mark.parametrize(
+    "workload", [w.name for w in all_workloads()]
+)
+def test_zero_false_negatives_on_registry_workloads(workload):
+    module = get(workload).compile()
+    noelle = helix_parallelize(module)
+    diagnostics, oracle = differential(module, noelle)
+    # The pipeline's parallelizations are correct: the oracle must stay
+    # silent, and so must the static detector at the ERROR level.
+    assert oracle.races == []
+    assert not any(
+        d.checker == "races" and d.severity == "error" for d in diagnostics
+    )
+
+
+def test_seeded_bug_is_caught_by_both_sides():
+    module, noelle = build_helix_fixture()
+    clean_diags, clean_oracle = differential(module, noelle)
+    assert clean_oracle.races == []
+    assert not any(d.severity == "error" for d in clean_diags)
+
+    drop_sequential_segments(module, noelle)
+    diagnostics, oracle = differential(module, noelle)
+    assert oracle.races, "the seeded bug must race dynamically"
+    errors = [
+        d for d in diagnostics
+        if d.checker == "races" and d.severity == "error"
+    ]
+    assert errors, "the seeded bug must be caught statically as ERROR"
+    assert all(d.pass_name == "helix" for d in errors)

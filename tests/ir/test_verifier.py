@@ -104,6 +104,13 @@ class TestPhiRules:
         with pytest.raises(VerificationError):
             verify_module(module)
 
+    def test_phi_duplicate_edge_from_same_predecessor(self):
+        module, _, values = build_count_loop()
+        phi = values["i"]
+        phi.add_incoming(const_int(5), values["body"])
+        with pytest.raises(VerificationError, match="duplicate edge"):
+            verify_module(module)
+
 
 class TestTypeRules:
     def test_binary_operand_mismatch(self):
@@ -204,3 +211,19 @@ class TestSSADominance:
         # The incoming value must dominate the predecessor, not the phi.
         module, _, values = build_count_loop()
         verify_module(module)  # i.next defined in body dominates body edge
+
+    def test_non_phi_self_use_rejected(self):
+        module, fn = make_fn()
+        builder, _ = ir.build_function(fn)
+        a = builder.add(const_int(1), const_int(2), "a")
+        builder.ret(a)
+        a.set_operand(1, a)
+        with pytest.raises(VerificationError, match="uses its own result"):
+            verify_function(fn)
+
+    def test_phi_self_use_around_back_edge_is_legal(self):
+        # A phi consuming its own result through a back edge is valid SSA.
+        module, fn, values = build_count_loop()
+        phi = values["acc"]
+        phi.set_incoming_value_for(values["body"], phi)
+        verify_module(module)

@@ -53,10 +53,31 @@ class TestCrashBundle:
         report = json.loads((directory / REPORT_FILE).read_text())
         assert report["pass"] == "doall"
         assert report["error"]["fault"] == "alias_query:3"
+        # The diagnostics key is part of the stable schema even when no
+        # checkers ran.
+        assert report["diagnostics"] == []
 
         loaded = CrashBundle.read(directory)
         assert loaded.ir_text == bundle.ir_text
         assert loaded.error.to_dict() == error.to_dict()
+        assert loaded.diagnostics == []
+
+    def test_checker_diagnostics_round_trip(self, tmp_path):
+        error = TransformError("helix", "check", "CheckFailure", "1 error(s)")
+        findings = [
+            {"checker": "races", "severity": "error",
+             "message": "loop-carried dependence", "function": "f.helix.task",
+             "location": "%acc", "pass": "helix"},
+            {"checker": "lint", "severity": "info", "message": "dead value",
+             "function": "f", "location": "%v", "pass": None},
+        ]
+        bundle = CrashBundle(1, "helix", "; module m\n", error,
+                             diagnostics=findings)
+        directory = bundle.write(tmp_path)
+        report = json.loads((directory / REPORT_FILE).read_text())
+        assert report["diagnostics"] == findings
+        loaded = CrashBundle.read(directory)
+        assert loaded.diagnostics == findings
 
     def test_pass_names_are_slugged(self, tmp_path):
         error = TransformError("rm lc/dependences", "run", "X", "y")

@@ -217,6 +217,68 @@ class TestBudgets:
         assert manager.run("limits", tight).ok
 
 
+class TestCheckGate:
+    def test_gate_is_off_by_default(self, monkeypatch):
+        monkeypatch.delenv("NOELLE_CHECKS", raising=False)
+        manager, _ = fresh_manager()
+        assert manager.checks is False
+
+    def test_environment_enables_gate(self, monkeypatch):
+        monkeypatch.setenv("NOELLE_CHECKS", "1")
+        manager, _ = fresh_manager()
+        assert manager.checks is True
+        monkeypatch.setenv("NOELLE_CHECKS", "0")
+        manager, _ = fresh_manager()
+        assert manager.checks is False
+
+    def test_clean_pass_commits_with_gate_on(self):
+        manager, module = fresh_manager(checks=True)
+        result = manager.run_registered("licm")
+        assert result.ok
+        assert not any(d.severity == "error" for d in result.diagnostics)
+
+    def test_checker_errors_roll_back_and_land_in_the_bundle(self, tmp_path):
+        import json
+
+        from repro.xforms import HELIX
+        from tests.checks.fixtures import (
+            HELIX_KERNEL_SOURCE,
+            TASK_NAME,
+            segment_marker_calls,
+        )
+
+        module = compile_source(HELIX_KERNEL_SOURCE, "fixture")
+        noelle = Noelle(module)
+        manager = PassManager(noelle, crash_dir=tmp_path, fault_plan=None,
+                              checks=True)
+        before = print_module(module)
+
+        def buggy_parallelize(noelle):
+            target = next(
+                loop for loop in noelle.loops()
+                if loop.structure.function.name == "kernel"
+            )
+            HELIX(noelle, 4).parallelize(target)
+            noelle.invalidate()
+            task = noelle.module.get_function(TASK_NAME)
+            for marker in segment_marker_calls(task):
+                marker.erase_from_parent()
+            noelle.invalidate()
+
+        result = manager.run("buggy-helix", buggy_parallelize)
+        assert result.rolled_back
+        assert result.error.kind == "CheckFailure"
+        assert result.error.phase == "check"
+        assert print_module(module) == before
+        findings = manager.bundles[-1].diagnostics
+        assert any(
+            d["checker"] == "races" and d["severity"] == "error"
+            for d in findings
+        )
+        report = json.loads((result.bundle / "report.json").read_text())
+        assert report["diagnostics"] == findings
+
+
 class TestEnvironmentPlans:
     def test_env_plan_arms_default_managers(self, monkeypatch):
         monkeypatch.setenv("NOELLE_FAULTS", "verify:1")

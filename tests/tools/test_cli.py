@@ -137,3 +137,64 @@ class TestReports:
         out = capsys.readouterr().out
         assert "main" in out
         assert "hotness" in out
+
+
+class TestCheck:
+    def test_clean_ir_exits_zero(self, demo_files, capsys):
+        _, ir_file, _ = demo_files
+        assert main(["check", str(ir_file)]) == 0
+        err = capsys.readouterr().err
+        assert "check: 0 error(s)" in err
+        assert "(clean)" in err
+
+    def test_mc_input_and_checker_subset(self, demo_files, capsys):
+        source, _, _ = demo_files
+        assert main(["check", str(source), "--checkers", "lint"]) == 0
+
+    def test_workload_name_resolves(self, capsys):
+        assert main(["check", "lbm"]) == 0
+        assert "check:" in capsys.readouterr().err
+
+    def test_unknown_input_is_a_clean_error(self):
+        with pytest.raises(SystemExit, match="neither a file nor"):
+            main(["check", "no-such-workload"])
+
+    def test_parallelize_then_check(self, demo_files, capsys):
+        if faults_enabled():
+            pytest.skip("parallelization may roll back under NOELLE_FAULTS")
+        _, ir_file, _ = demo_files
+        assert main(
+            ["check", str(ir_file), "--parallelize", "doall", "--cores", "4"]
+        ) == 0
+
+    def test_buggy_module_exits_nonzero(self, tmp_path, capsys):
+        from repro.ir import print_module
+        from tests.checks.fixtures import (
+            build_helix_fixture,
+            drop_sequential_segments,
+        )
+
+        module, noelle = build_helix_fixture()
+        drop_sequential_segments(module, noelle)
+        path = tmp_path / "buggy.ir"
+        path.write_text(print_module(module))
+        assert main(["check", str(path)]) == 1
+        captured = capsys.readouterr()
+        assert "error: [races]" in captured.out
+        assert "check: " in captured.err
+
+    def test_oracle_flag_reports_dynamic_races(self, tmp_path, capsys):
+        from repro.ir import print_module
+        from tests.checks.fixtures import (
+            build_helix_fixture,
+            drop_sequential_segments,
+        )
+
+        module, noelle = build_helix_fixture()
+        drop_sequential_segments(module, noelle)
+        path = tmp_path / "buggy.ir"
+        path.write_text(print_module(module))
+        assert main(["check", str(path), "--cores", "4", "--oracle"]) == 1
+        captured = capsys.readouterr()
+        assert "dynamic: helix region" in captured.out
+        assert "dynamic race(s)" in captured.err
