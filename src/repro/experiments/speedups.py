@@ -110,18 +110,32 @@ def fig5_speedups(
     PARSEC and MiBench suites.
 
     Each benchmark is independent (fresh modules, a deterministic
-    machine model), so ``jobs=N`` fans the rows out over worker
-    processes; ``pool.map`` preserves order, making the result
-    byte-identical to the sequential run.
+    machine model), so ``jobs=N`` fans the rows out over a supervised
+    worker pool (:func:`repro.serve.pool.supervised_map`): order is
+    preserved, making the result identical to the sequential run — and
+    a worker that dies abruptly costs only its own row, which comes
+    back with an ``"error"`` key carrying the structured record while
+    every other row's numbers still return.
     """
     if workloads is None:
         workloads = suite("parsec") + suite("mibench")
     tasks = [(workload, num_cores, techniques) for workload in workloads]
     if jobs is not None and jobs > 1 and len(tasks) > 1:
-        import multiprocessing
+        from ..serve.pool import supervised_map
 
-        with multiprocessing.Pool(min(jobs, len(tasks))) as pool:
-            return pool.map(_fig5_row, tasks)
+        rows = []
+        for task, outcome in zip(tasks, supervised_map(_fig5_row, tasks, jobs)):
+            if outcome.ok:
+                rows.append(outcome.value)
+            else:
+                workload = task[0]
+                rows.append({
+                    "benchmark": workload.name,
+                    "suite": workload.suite,
+                    "parallel_friendly": workload.parallel_friendly,
+                    "error": outcome.error,
+                })
+        return rows
     return [_fig5_row(task) for task in tasks]
 
 

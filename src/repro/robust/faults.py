@@ -32,8 +32,21 @@ import os
 import random
 import time
 
+#: Service-layer chokepoints, visited by the ``repro-noelle serve``
+#: worker while it executes one request (see ``repro.serve.session``):
+#:
+#: * ``serve_exec``  — the fault surfaces as a structured request error;
+#: * ``serve_kill``  — the worker process exits abruptly (``os._exit``),
+#:   simulating an OOM kill / SIGKILL mid-request, so the supervisor's
+#:   restart path is what the seed exercises;
+#: * ``serve_flaky`` — the fault surfaces as a *transient* error the
+#:   daemon's bounded-retry policy is allowed to retry.
+SERVE_SITES = ("serve_exec", "serve_kill", "serve_flaky")
+
 #: The instrumented chokepoints, in rough order of how often they fire.
-SITES = ("alias_query", "verify", "snapshot")
+#: (``FaultPlan.from_seed`` intentionally draws from its own hard-coded
+#: tuple, so extending SITES never remaps existing CI seeds.)
+SITES = ("alias_query", "verify", "snapshot") + SERVE_SITES
 
 #: Environment variable holding a fault spec (see :meth:`FaultPlan.from_spec`).
 ENV_VAR = "NOELLE_FAULTS"

@@ -1,0 +1,60 @@
+"""Compiler-as-a-service: the ``repro-noelle serve`` daemon.
+
+The paper's thesis is that expensive abstractions (PDG, profiles, loop
+forests) pay off when they are built once and amortized across many
+tools; this package amortizes them across many *requests*.  A long-lived
+stdlib-only daemon accepts compile/parallelize/run/check jobs over a
+JSON-over-HTTP protocol and executes each one in a supervised pool of
+worker processes that keep hot :class:`~repro.core.noelle.Noelle`
+facades, PDG shards, and :class:`~repro.interp.engine.ExecutionEngine`
+caches resident per session namespace.
+
+Robustness is the headline, not an afterthought:
+
+* **deadlines** — every request runs under a wall-clock deadline; a
+  wedged worker is killed and replaced, and the client gets a
+  structured ``DeadlineExceeded`` error instead of a hang;
+* **supervision** — a worker that dies mid-request (crash, OOM kill,
+  injected ``serve_kill`` fault) surfaces a structured error with a
+  crash-bundle path, and a replacement worker takes over the slot;
+* **retry** — transient failures are retried with bounded exponential
+  backoff plus jitter;
+* **graceful degradation** — a circuit breaker per (session, op) trips
+  after repeated failures and downgrades instead of refusing service:
+  compiled engine → reference walker, parallelize → sequential,
+  checks → advisory.
+
+Module map:
+
+* :mod:`repro.serve.protocol`   — request/response schema, structured
+  error records, exit codes shared with the CLI;
+* :mod:`repro.serve.pool`       — supervised worker processes and the
+  :func:`~repro.serve.pool.supervised_map` batch fan-out (also the
+  hardened backend of ``run_corpus(jobs=N)``);
+* :mod:`repro.serve.resilience` — retry/backoff policy and the circuit
+  breaker;
+* :mod:`repro.serve.session`    — the worker-side executor holding the
+  warm per-session state;
+* :mod:`repro.serve.daemon`     — the HTTP front end and supervisor.
+
+Import sites stay lazy on purpose: pulling in the pool (used by the
+testing harness) must not drag in the HTTP server, and vice versa.
+"""
+
+from __future__ import annotations
+
+__all__ = ["create_server", "serve_forever"]
+
+
+def create_server(*args, **kwargs):
+    """Build a ready-to-run daemon (lazy import of the HTTP stack)."""
+    from .daemon import create_server as _create_server
+
+    return _create_server(*args, **kwargs)
+
+
+def serve_forever(*args, **kwargs):
+    """Run the daemon until shut down (lazy import of the HTTP stack)."""
+    from .daemon import serve_forever as _serve_forever
+
+    return _serve_forever(*args, **kwargs)

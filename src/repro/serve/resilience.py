@@ -1,0 +1,125 @@
+"""Retry/backoff policy and the circuit breaker.
+
+Both are deliberately small, deterministic-under-seed, and clock-
+injectable, because the robustness tests assert their exact behaviour:
+the backoff sequence for a given seed, the breaker's state machine
+transitions under a fake clock.
+
+Retry is *bounded* and applies only to failures the protocol marks
+retryable (``TransientServeError``, a worker that was already dead at
+dispatch time).  A worker that dies *mid-request* is never retried —
+the job may have had partial effect, and the honest answer is a
+structured error with a crash bundle.
+
+The circuit breaker implements the degradation ladder rather than
+load-shedding: when the full-fat path for a (session, op) keeps
+failing, requests are served degraded (compiled engine → reference
+walker, parallelize → sequential, checks → advisory) until a half-open
+probe of the full path succeeds again.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+
+
+class RetryPolicy:
+    """Bounded retries with capped exponential backoff plus jitter."""
+
+    def __init__(
+        self,
+        max_attempts: int = 3,
+        base_delay_s: float = 0.05,
+        max_delay_s: float = 2.0,
+        jitter: float = 0.5,
+        seed: int | None = None,
+    ):
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        if not 0.0 <= jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+        #: Total attempts, including the first (1 disables retries).
+        self.max_attempts = max_attempts
+        self.base_delay_s = base_delay_s
+        self.max_delay_s = max_delay_s
+        self.jitter = jitter
+        self._rng = random.Random(seed)
+
+    def should_retry(self, attempt: int, error: dict) -> bool:
+        """May attempt ``attempt`` (1-based, already failed) be retried?"""
+        return attempt < self.max_attempts and bool(error.get("retryable"))
+
+    def delay_s(self, attempt: int) -> float:
+        """Sleep before retry number ``attempt`` (1-based): capped
+        exponential, scaled by a uniform jitter factor in
+        ``[1 - jitter, 1 + jitter]``."""
+        exponential = self.base_delay_s * (2.0 ** (attempt - 1))
+        capped = min(exponential, self.max_delay_s)
+        if self.jitter == 0.0:
+            return capped
+        factor = 1.0 + self.jitter * (2.0 * self._rng.random() - 1.0)
+        return capped * factor
+
+
+class CircuitBreaker:
+    """A per-(session, op) breaker driving the degradation ladder.
+
+    States: **closed** (full path), **open** (serve degraded until the
+    cooldown elapses), **half_open** (one probe of the full path is in
+    flight; success closes, failure re-opens).
+    """
+
+    def __init__(
+        self,
+        failure_threshold: int = 3,
+        cooldown_s: float = 5.0,
+        clock=time.monotonic,
+    ):
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be >= 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._opened_at: float | None = None
+        #: Counters for /stats.
+        self.opened_count = 0
+
+    def allow(self) -> bool:
+        """True when the *full* path should be tried now.  An open
+        breaker returns True exactly once per cooldown expiry (the
+        half-open probe)."""
+        if self.state == "closed":
+            return True
+        if self.state == "open":
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self.state = "half_open"
+                return True
+            return False
+        # half_open: one probe at a time; concurrent requests degrade.
+        return False
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self._opened_at = None
+
+    def record_failure(self) -> None:
+        self.consecutive_failures += 1
+        if (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.failure_threshold
+        ):
+            if self.state != "open":
+                self.opened_count += 1
+            self.state = "open"
+            self._opened_at = self._clock()
+
+    def snapshot(self) -> dict:
+        return {
+            "state": self.state,
+            "consecutive_failures": self.consecutive_failures,
+            "opened_count": self.opened_count,
+        }

@@ -174,17 +174,31 @@ def run_corpus(
 ) -> list[TestOutcome]:
     """Every micro test under every configuration.
 
-    ``jobs=N`` (N > 1) fans the pairs out over a pool of worker
-    processes; ``pool.map`` preserves input order, so the outcome list
-    is identical to the sequential one regardless of scheduling.
+    ``jobs=N`` (N > 1) fans the pairs out over a supervised pool of
+    worker processes (:func:`repro.serve.pool.supervised_map`): input
+    order is preserved, and a worker that dies abruptly (killed, OOM)
+    costs only the pair it held — that pair comes back as a failed
+    :class:`TestOutcome` whose ``detail`` carries the structured error,
+    every other pair still returns, and the pool never hangs.
     """
     tests = tests if tests is not None else build_corpus()
     pairs = [(test, config) for config in configs for test in tests]
     if jobs is not None and jobs > 1 and len(pairs) > 1:
-        import multiprocessing
+        from ..serve.pool import supervised_map
 
-        with multiprocessing.Pool(min(jobs, len(pairs))) as pool:
-            return pool.map(_run_pair, pairs)
+        outcomes = []
+        for pair, task in zip(pairs, supervised_map(_run_pair, pairs, jobs)):
+            if task.ok:
+                outcomes.append(task.value)
+            else:
+                test, config = pair
+                outcome = TestOutcome(test, config)
+                outcome.detail = (
+                    f"worker failure: {task.error.get('kind', 'unknown')}: "
+                    f"{task.error.get('message', '')}"
+                )
+                outcomes.append(outcome)
+        return outcomes
     return [_run_pair(pair) for pair in pairs]
 
 

@@ -53,16 +53,80 @@ def _cmd_whole_ir(args) -> int:
 
 
 def _cmd_run(args) -> int:
+    from ..interp.interp import StepLimitExceeded
+    from ..robust.diagnostics import EntryNotFoundError
+    from ..serve.protocol import (
+        EXIT_ENTRY_NOT_FOUND,
+        EXIT_STEP_LIMIT,
+        EXIT_TRAP,
+    )
+
     module = _load_ir(args.input)
-    machine = ParallelMachine(module, num_cores=args.cores)
-    result = machine.run()
+    entry = args.entry or "main"
+    fn = module.functions.get(entry)
+    if fn is None or fn.is_declaration():
+        error = EntryNotFoundError(
+            entry, sorted(f.name for f in module.defined_functions())
+        )
+        print(f"repro-noelle run: {error}", file=sys.stderr)
+        return EXIT_ENTRY_NOT_FOUND
+    kwargs = {}
+    if args.step_limit is not None:
+        kwargs["step_limit"] = args.step_limit
+    machine = ParallelMachine(module, num_cores=args.cores, **kwargs)
+    try:
+        result = machine.run(entry)
+    except StepLimitExceeded as error:
+        for value in machine.result.output:
+            print(value)
+        print(f"STEP LIMIT: {error}", file=sys.stderr)
+        return EXIT_STEP_LIMIT
     for value in result.output:
         print(value)
     if result.trapped:
         print(f"TRAP: {result.trapped}", file=sys.stderr)
-        return 1
+        return EXIT_TRAP
     print(f"[{result.cycles} cycles on {args.cores or 'default'} cores]",
           file=sys.stderr)
+    return 0
+
+
+def _cmd_serve(args) -> int:
+    import signal
+
+    from ..serve.daemon import create_server, serve_forever
+
+    server = create_server(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        deadline_s=args.deadline,
+        max_attempts=args.retries + 1,
+        crash_dir=args.crash_dir,
+        verbose=args.verbose,
+    )
+    host, port = server.server_address[:2]
+
+    def _shutdown(signum, frame):
+        import threading
+
+        # shutdown() must not run on the serve_forever thread.
+        threading.Thread(target=server.shutdown, daemon=True).start()
+
+    signal.signal(signal.SIGINT, _shutdown)
+    signal.signal(signal.SIGTERM, _shutdown)
+    print(f"serving on http://{host}:{port}", file=sys.stderr)
+    print(
+        f"  workers={args.workers} deadline={args.deadline:g}s "
+        f"retries={args.retries} crash_dir={args.crash_dir or '-'}",
+        file=sys.stderr,
+    )
+    stubborn = serve_forever(server)
+    if stubborn:
+        print(f"serve: {stubborn} worker(s) needed force-kill",
+              file=sys.stderr)
+        return 1
+    print("serve: clean shutdown", file=sys.stderr)
     return 0
 
 
@@ -277,10 +341,38 @@ def build_parser() -> argparse.ArgumentParser:
     whole.add_argument("--link-option", action="append", default=[])
     whole.set_defaults(func=_cmd_whole_ir)
 
-    run = sub.add_parser("run", help="execute an IR file on the simulated machine")
+    run = sub.add_parser(
+        "run",
+        help="execute an IR file on the simulated machine; exit codes: "
+        "0 ok, 3 memory trap, 4 step-limit exceeded, 5 entry not found",
+    )
     run.add_argument("input")
     run.add_argument("--cores", type=int, default=None)
+    run.add_argument("--entry", default=None, metavar="FN",
+                     help="entry function (default: main)")
+    run.add_argument("--step-limit", type=int, default=None,
+                     help="abort with exit code 4 after this many steps")
     run.set_defaults(func=_cmd_run)
+
+    serve = sub.add_parser(
+        "serve",
+        help="run the compiler-as-a-service daemon (JSON over HTTP; "
+        "POST /compile /parallelize /run /check, GET /healthz /stats)",
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=8414)
+    serve.add_argument("--workers", type=int, default=2,
+                       help="supervised worker processes (sessions are "
+                       "routed to a fixed worker to keep caches warm)")
+    serve.add_argument("--deadline", type=float, default=30.0,
+                       help="default per-request wall-clock deadline "
+                       "(seconds); requests may lower it, cap 600")
+    serve.add_argument("--retries", type=int, default=2,
+                       help="max retries for transient failures "
+                       "(exponential backoff with jitter)")
+    serve.add_argument("--verbose", action="store_true",
+                       help="log each HTTP request to stderr")
+    serve.set_defaults(func=_cmd_serve)
 
     profile = sub.add_parser("profile", help="noelle-prof-coverage summary")
     profile.add_argument("input")

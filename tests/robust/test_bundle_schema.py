@@ -1,0 +1,108 @@
+"""Golden lock on the crash-bundle ``report.json`` schema.
+
+Crash bundles are the repro's offline-reproduction artifact: external
+scripts (and the serve daemon's clients) parse ``report.json`` by key.
+These tests pin the exact key sets so an accidental schema change fails
+loudly here instead of silently breaking downstream consumers.
+"""
+
+import json
+
+import pytest
+
+from repro.robust.diagnostics import (
+    MODULE_FILE,
+    REPORT_FILE,
+    CrashBundle,
+    TransformError,
+)
+
+#: The locked schema.  Extending it is allowed only as a deliberate,
+#: documented change — update these sets and DESIGN.md together.
+REPORT_KEYS = {"index", "pass", "module_ir", "error", "diagnostics"}
+ERROR_KEYS = {"pass", "phase", "kind", "message", "fault", "seconds",
+              "traceback"}
+
+
+@pytest.fixture
+def bundle():
+    error = TransformError(
+        "doall", "verify", "VerificationError", "use before def",
+        traceback_text="Traceback ...", fault="verify:1", seconds=0.25,
+    )
+    return CrashBundle(
+        3, "doall", "define i64 @main() {\n}\n", error,
+        diagnostics=[{"checker": "races", "severity": "warning"}],
+    )
+
+
+class TestReportSchema:
+    def test_report_json_keys_are_locked(self, bundle, tmp_path):
+        directory = bundle.write(tmp_path)
+        report = json.loads((directory / REPORT_FILE).read_text())
+        assert set(report) == REPORT_KEYS
+        assert set(report["error"]) == ERROR_KEYS
+
+    def test_report_values(self, bundle, tmp_path):
+        directory = bundle.write(tmp_path)
+        report = json.loads((directory / REPORT_FILE).read_text())
+        assert report["index"] == 3
+        assert report["pass"] == "doall"
+        assert report["module_ir"] == MODULE_FILE
+        assert report["error"]["kind"] == "VerificationError"
+        assert report["error"]["fault"] == "verify:1"
+        assert report["diagnostics"] == [
+            {"checker": "races", "severity": "warning"}
+        ]
+
+    def test_layout_on_disk(self, bundle, tmp_path):
+        directory = bundle.write(tmp_path)
+        assert directory == tmp_path / "003-doall"
+        assert (directory / MODULE_FILE).read_text() == bundle.ir_text
+
+    def test_transform_error_to_dict_keys_are_locked(self, bundle):
+        assert set(bundle.error.to_dict()) == ERROR_KEYS
+
+
+class TestRoundTrip:
+    def test_write_read_round_trips(self, bundle, tmp_path):
+        directory = bundle.write(tmp_path)
+        loaded = CrashBundle.read(directory)
+        assert loaded.index == bundle.index
+        assert loaded.pass_name == bundle.pass_name
+        assert loaded.ir_text == bundle.ir_text
+        assert loaded.diagnostics == bundle.diagnostics
+        assert loaded.error.to_dict() == bundle.error.to_dict()
+        assert loaded.path == directory
+
+    def test_round_trip_is_stable_under_rewrite(self, bundle, tmp_path):
+        first = bundle.write(tmp_path / "a")
+        loaded = CrashBundle.read(first)
+        second = loaded.write(tmp_path / "b")
+        assert (
+            (first / REPORT_FILE).read_text()
+            == (second / REPORT_FILE).read_text()
+        )
+
+
+class TestServiceBundlesShareTheSchema:
+    def test_daemon_written_bundle_parses_with_the_same_keys(self, tmp_path):
+        # The serve daemon reuses the bundle format for service-scope
+        # failures (the request's inline IR stands in for the module).
+        from repro.serve.daemon import Supervisor
+
+        supervisor = Supervisor(num_workers=1, crash_dir=str(tmp_path))
+        try:
+            path = supervisor._write_bundle(
+                {"op": "run", "ir": "", "faults": "serve_kill:1"},
+                {"kind": "WorkerCrashed", "message": "died",
+                 "scope": "service"},
+            )
+            from pathlib import Path
+
+            report = json.loads((Path(path) / REPORT_FILE).read_text())
+            assert set(report) == REPORT_KEYS
+            assert set(report["error"]) == ERROR_KEYS
+            assert report["error"]["kind"] == "WorkerCrashed"
+        finally:
+            supervisor.stop()

@@ -1,0 +1,122 @@
+"""Retry policy and circuit breaker state machine."""
+
+import pytest
+
+from repro.serve.resilience import CircuitBreaker, RetryPolicy
+
+
+class TestRetryPolicy:
+    def test_retries_only_retryable_errors(self):
+        policy = RetryPolicy(max_attempts=3)
+        retryable = {"retryable": True}
+        fatal = {"retryable": False}
+        assert policy.should_retry(1, retryable)
+        assert policy.should_retry(2, retryable)
+        assert not policy.should_retry(3, retryable)  # budget exhausted
+        assert not policy.should_retry(1, fatal)
+
+    def test_single_attempt_disables_retry(self):
+        policy = RetryPolicy(max_attempts=1)
+        assert not policy.should_retry(1, {"retryable": True})
+
+    def test_backoff_without_jitter_is_exact_capped_exponential(self):
+        policy = RetryPolicy(
+            base_delay_s=0.1, max_delay_s=0.5, jitter=0.0, max_attempts=10
+        )
+        delays = [policy.delay_s(attempt) for attempt in range(1, 6)]
+        assert delays == [0.1, 0.2, 0.4, 0.5, 0.5]
+
+    def test_jitter_stays_in_band_and_is_seeded(self):
+        a = RetryPolicy(base_delay_s=0.1, jitter=0.5, seed=7)
+        b = RetryPolicy(base_delay_s=0.1, jitter=0.5, seed=7)
+        delays_a = [a.delay_s(n) for n in range(1, 20)]
+        delays_b = [b.delay_s(n) for n in range(1, 20)]
+        assert delays_a == delays_b  # deterministic under a seed
+        for attempt, delay in enumerate(delays_a, start=1):
+            base = min(0.1 * 2.0 ** (attempt - 1), 2.0)
+            assert 0.5 * base <= delay <= 1.5 * base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter=1.5)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+
+class TestCircuitBreaker:
+    def test_opens_after_threshold(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=3, cooldown_s=5.0,
+                                 clock=clock)
+        assert breaker.allow()
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+
+    def test_success_resets_the_count(self):
+        breaker = CircuitBreaker(failure_threshold=2, clock=FakeClock())
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+    def test_half_open_probe_after_cooldown(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=5.0,
+                                 clock=clock)
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        clock.now += 5.0
+        assert breaker.allow()  # the single half-open probe
+        assert breaker.state == "half_open"
+        assert not breaker.allow()  # concurrent requests stay degraded
+
+    def test_half_open_success_closes(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown_s=1.0,
+                                 clock=clock)
+        breaker.record_failure()
+        clock.now += 1.0
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.allow()
+
+    def test_half_open_failure_reopens(self):
+        clock = FakeClock()
+        breaker = CircuitBreaker(failure_threshold=5, cooldown_s=1.0,
+                                 clock=clock)
+        for _ in range(5):
+            breaker.record_failure()
+        clock.now += 1.0
+        assert breaker.allow()
+        breaker.record_failure()  # the probe failed: snap back open
+        assert breaker.state == "open"
+        assert not breaker.allow()
+        assert breaker.opened_count == 2
+
+    def test_snapshot(self):
+        breaker = CircuitBreaker(clock=FakeClock())
+        snapshot = breaker.snapshot()
+        assert snapshot == {
+            "state": "closed",
+            "consecutive_failures": 0,
+            "opened_count": 0,
+        }
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(failure_threshold=0)

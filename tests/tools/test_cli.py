@@ -198,3 +198,58 @@ class TestCheck:
         captured = capsys.readouterr()
         assert "dynamic: helix region" in captured.out
         assert "dynamic race(s)" in captured.err
+
+
+class TestRunExitCodes:
+    """The documented failure taxonomy of ``repro-noelle run``."""
+
+    def test_success_is_zero(self, demo_files):
+        _, ir_file, _ = demo_files
+        assert main(["run", str(ir_file)]) == 0
+
+    def test_missing_entry_is_5(self, demo_files, capsys):
+        from repro.serve.protocol import EXIT_ENTRY_NOT_FOUND
+
+        _, ir_file, _ = demo_files
+        code = main(["run", str(ir_file), "--entry", "does_not_exist"])
+        assert code == EXIT_ENTRY_NOT_FOUND
+        captured = capsys.readouterr()
+        assert "@does_not_exist" in captured.err
+        assert "@main" in captured.err  # the available entries are listed
+
+    def test_step_limit_is_4(self, demo_files, capsys):
+        from repro.serve.protocol import EXIT_STEP_LIMIT
+
+        _, ir_file, _ = demo_files
+        code = main(["run", str(ir_file), "--step-limit", "10"])
+        assert code == EXIT_STEP_LIMIT
+        assert "STEP LIMIT" in capsys.readouterr().err
+
+    def test_memory_trap_is_3(self, tmp_path, capsys):
+        from repro.serve.protocol import EXIT_TRAP
+
+        source = tmp_path / "oob.mc"
+        source.write_text(
+            "int data[4];\n"
+            "int main() {\n"
+            "  int i;\n"
+            "  for (i = 0; i < 100; i = i + 1) { data[i] = i; }\n"
+            "  return data[0];\n"
+            "}\n"
+        )
+        ir_file = tmp_path / "oob.ir"
+        assert main(["whole-ir", str(source), "-o", str(ir_file)]) == 0
+        code = main(["run", str(ir_file)])
+        assert code == EXIT_TRAP
+        assert "TRAP" in capsys.readouterr().err
+
+    def test_explicit_entry_runs_it(self, tmp_path, capsys):
+        source = tmp_path / "lib.mc"
+        source.write_text(
+            "int helper() { print_int(42); return 7; }\n"
+            "int main() { return 0; }\n"
+        )
+        ir_file = tmp_path / "lib.ir"
+        assert main(["whole-ir", str(source), "-o", str(ir_file)]) == 0
+        assert main(["run", str(ir_file), "--entry", "helper"]) == 0
+        assert "42" in capsys.readouterr().out
