@@ -161,6 +161,10 @@ def run_bench() -> dict:
         "worker_restarts": stats["serve"]["restarts"],
         "requests_total": stats["serve"]["requests"],
         "errors_total": stats["serve"]["errors"],
+        # Exactly one error is deliberate: the seeded serve_kill above.
+        # Anything beyond it would be a real service failure.
+        "errors_injected": 1,
+        "errors_unexpected": stats["serve"]["errors"] - 1,
     }
 
 
@@ -174,6 +178,8 @@ def report(results: dict) -> None:
         ("warm-over-cold", f"{results['warm_over_cold']:.2f}x"),
         ("recovery after kill", f"{results['recovery_ms']:.2f} ms"),
         ("worker restarts", str(results["worker_restarts"])),
+        ("errors (injected/unexpected)",
+         f"{results['errors_injected']}/{results['errors_unexpected']}"),
     ]
     width = max(len(label) for label, _ in rows)
     print("\n=== Serve daemon ===")
@@ -197,6 +203,8 @@ def assert_claims(results: dict) -> None:
     # (replacement + recompile + rerun) completed in bounded time.
     assert results["worker_restarts"] == 1, results
     assert results["recovery_ms"] < 30_000, results
+    # The injected kill must be the *only* error the daemon saw.
+    assert results["errors_unexpected"] == 0, results
 
 
 def test_serve_daemon(benchmark):

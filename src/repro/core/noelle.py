@@ -54,6 +54,9 @@ class Noelle:
         self._ids: IDAssigner | None = None
         self._dfe: DataFlowEngine | None = None
         self._env_builder: EnvironmentBuilder | None = None
+        #: Set by ``repro.cache.attach``: links this facade to the
+        #: on-disk artifact entry its module was hydrated from.
+        self._cache_binding = None
 
     # -- analyses ----------------------------------------------------------------------
     def alias_analysis(self) -> AliasAnalysis:
@@ -213,6 +216,16 @@ class Noelle:
         return self._architecture
 
     # -- cache management ---------------------------------------------------------------
+    def bind_cache(self, binding) -> None:
+        """Attach an artifact-cache binding (see ``repro.cache``).
+
+        Once bound, per-function invalidation also evicts that
+        function's on-disk artifacts, and a whole-module invalidation
+        severs the binding — a transformed module no longer matches the
+        content key its artifacts were published under.
+        """
+        self._cache_binding = binding
+
     def invalidate(self, fn: Function | None = None) -> None:
         """Drop cached analyses after the module was transformed.
 
@@ -236,8 +249,13 @@ class Noelle:
             # The execution engine's compiled code is per-function state
             # derived from the body: drop exactly that function's code.
             invalidate_module(self.module, fn)
+            if self._cache_binding is not None:
+                self._cache_binding.invalidate_function(fn)
             return
         invalidate_module(self.module)
+        # The module's content no longer matches the cache entry it was
+        # loaded from: stop publishing/evicting against that key.
+        self._cache_binding = None
         self._aa = None
         self._pdg = None
         self._callgraph = None
@@ -251,7 +269,7 @@ class Noelle:
     def _try_invalidate_function(self, fn: Function) -> bool:
         """Per-function invalidation; False if a full drop is required."""
         if self._pdg is not None:
-            if self._pdg.aa is None:
+            if not self._pdg.can_rebuild_shards():
                 # A metadata-rehydrated PDG cannot rebuild a shard (no
                 # alias analysis attached): fall back to a full drop.
                 return False

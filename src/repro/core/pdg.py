@@ -126,6 +126,15 @@ class PDG(DependenceGraph[Instruction]):
         if isinstance(value, Instruction):
             self._ensure_function(_function_of(value))
 
+    def can_rebuild_shards(self) -> bool:
+        """Whether a dropped shard can be recomputed in place.
+
+        False for metadata-rehydrated graphs (no alias analysis
+        attached).  Subclasses whose ``aa`` materializes lazily
+        override this instead of forcing the build just to answer.
+        """
+        return self.aa is not None
+
     def invalidate_function(self, fn: Function) -> bool:
         """Drop ``fn``'s shard (rebuilt on next query); False if absent."""
         shard = self._shards.pop(id(fn), None)

@@ -93,6 +93,17 @@ from .interp import (
 #: Environment variable selecting the execution engine.
 ENGINE_ENV = "NOELLE_ENGINE"
 
+#: Version of the serializable compilation plan (see
+#: :func:`hydrate_function`); bump on any change to plan structure,
+#: bind specs, or the generated-source conventions they index into.
+EPLAN_VERSION = 1
+
+
+class EnginePlanError(Exception):
+    """A serialized compilation plan does not match this function (stale
+    cache entry, version skew, or corrupt data) — callers treat it as a
+    cache miss and recompile."""
+
 _MODES = ("compiled", "reference")
 
 _TERMINATORS = (Branch, CondBranch, Switch, Ret, Unreachable)
@@ -193,9 +204,13 @@ class CompiledBlock:
 class CompiledFunction:
     """A function lowered to slot-frame closures."""
 
-    __slots__ = ("fn", "nslots", "arg_slots", "entry", "blocks", "refs")
+    __slots__ = (
+        "fn", "nslots", "arg_slots", "entry", "blocks", "refs",
+        "plan", "code",
+    )
 
-    def __init__(self, fn, nslots, arg_slots, entry, blocks, refs):
+    def __init__(self, fn, nslots, arg_slots, entry, blocks, refs,
+                 plan=None, code=None):
         self.fn = fn
         self.nslots = nslots
         self.arg_slots = arg_slots
@@ -204,6 +219,12 @@ class CompiledFunction:
         #: Keep-alive references for objects whose id() is baked into
         #: generated code (globals, callees) — id reuse would be fatal.
         self.refs = refs
+        #: Process-independent wiring plan + generated code object; the
+        #: pair is everything :func:`hydrate_function` needs to rebuild
+        #: this CompiledFunction in another process without re-walking
+        #: the IR or re-running CPython's compile().
+        self.plan = plan
+        self.code = code
 
 
 def _fa_cmp(predicate: str, a, b) -> int:
@@ -238,6 +259,46 @@ def _broken_edge_raiser(message):
     return raiser
 
 
+def _base_namespace() -> dict:
+    """The namespace every generated code object executes against."""
+    return {
+        "InterpError": InterpError,
+        "MemoryTrap": MemoryTrap,
+        "_FunctionAddress": _FunctionAddress,
+        "_fa_cmp": _fa_cmp,
+        "_INF": float("inf"),
+    }
+
+
+def _split_segments(bb):
+    """Deterministic block decomposition shared by compile and hydrate:
+    leading phis, then maximal call-free runs (calls are singletons),
+    stopping at the first terminator."""
+    insts = bb.instructions
+    index = 0
+    phis = []
+    while index < len(insts) and isinstance(insts[index], Phi):
+        phis.append(insts[index])
+        index += 1
+    runs: list[list] = []
+    run: list = []
+    terminator = None
+    for inst in insts[index:]:
+        if isinstance(inst, _TERMINATORS):
+            terminator = inst
+            break
+        if isinstance(inst, Call):
+            if run:
+                runs.append(run)
+                run = []
+            runs.append([inst])
+        else:
+            run.append(inst)
+    if run:
+        runs.append(run)
+    return phis, runs, terminator
+
+
 class _Compiler:
     """Lowers one Function to generated Python source, exec'd once."""
 
@@ -246,14 +307,15 @@ class _Compiler:
         self.fn = fn
         self.slots: dict[int, int] = {}
         self.refs: list[object] = []
-        self.ns: dict[str, object] = {
-            "InterpError": InterpError,
-            "MemoryTrap": MemoryTrap,
-            "_FunctionAddress": _FunctionAddress,
-            "_fa_cmp": _fa_cmp,
-            "_INF": float("inf"),
-        }
+        self.ns: dict[str, object] = _base_namespace()
         self._unique = 0
+        #: (ns name, spec) pairs for every process-specific object the
+        #: generated code reads from its namespace; specs are
+        #: process-independent and re-resolvable (see hydrate_function).
+        self.binds: list[tuple[str, tuple]] = []
+        self._global_names: dict[int, str] = {}
+        self._block_index: dict[int, int] = {}
+        self._inst_index: dict[int, tuple[int, int]] = {}
 
     # -- small helpers ---------------------------------------------------------
 
@@ -261,9 +323,10 @@ class _Compiler:
         self._unique += 1
         return f"{prefix}{self._unique}"
 
-    def _bind(self, obj, prefix: str = "_C") -> str:
+    def _bind(self, obj, prefix: str = "_C", spec: tuple | None = None) -> str:
         name = self._name(prefix)
         self.ns[name] = obj
+        self.binds.append((name, spec if spec is not None else ("const", obj)))
         return name
 
     def _expr(self, v) -> str:
@@ -282,10 +345,18 @@ class _Compiler:
             return "0"
         if isinstance(v, GlobalVariable):
             self.refs.append(v)
-            return f"st.globals[{id(v)}]"
+            # The global's id() is process-specific, so it lives in the
+            # namespace (rebound on hydrate) instead of the source text.
+            name = self._global_names.get(id(v))
+            if name is None:
+                name = self._bind(id(v), "_G", ("globalid", v.name))
+                self._global_names[id(v)] = name
+            return f"st.globals[{name}]"
         if isinstance(v, Function):
             self.refs.append(v)
-            return self._bind(self.engine.address_of(v), "_FA")
+            return self._bind(
+                self.engine.address_of(v), "_FA", ("fa", v.name)
+            )
         raise InterpError(f"cannot evaluate {v!r}")
 
     def _getter(self, v):
@@ -303,6 +374,21 @@ class _Compiler:
         if isinstance(v, Function):
             self.refs.append(v)
             return _const_getter(self.engine.address_of(v))
+        raise InterpError(f"cannot evaluate {v!r}")
+
+    def _getter_spec(self, v) -> tuple:
+        """Serializable form of :meth:`_getter`."""
+        slot = self.slots.get(id(v))
+        if slot is not None:
+            return ("slot", slot)
+        if isinstance(v, (ConstantInt, ConstantFloat)):
+            return ("const", v.value)
+        if isinstance(v, (ConstantNull, UndefValue)):
+            return ("const", 0)
+        if isinstance(v, GlobalVariable):
+            return ("global", v.name)
+        if isinstance(v, Function):
+            return ("fa", v.name)
         raise InterpError(f"cannot evaluate {v!r}")
 
     def _is_dynamic(self, v) -> bool:
@@ -358,7 +444,7 @@ class _Compiler:
             return self._emit_cast(inst, n, corr)
         # Mirrors the reference walker's "cannot execute" arm (also hit
         # by a phi that is not in leading position).
-        name = self._bind(inst, "_X")
+        name = self._bind(inst, "_X", ("inst", *self._inst_index[id(inst)]))
         return self._raise(
             "", corr, f"raise InterpError('cannot execute %r' % ({name},))"
         )
@@ -549,7 +635,7 @@ class _Compiler:
         callee = inst.called_function()
         if callee is not None:
             self.refs.append(callee)
-            name = self._bind(callee, "_F")
+            name = self._bind(callee, "_F", ("callee", callee.name))
             return [f"{store}st.call_function({name}, {args})"]
         lines = [f"t{n} = {self._expr(inst.callee)}"]
         lines.append(f"if t{n}.__class__ is not _FunctionAddress:")
@@ -592,10 +678,12 @@ class _Compiler:
             return [f"return {t} if ({c}) else {f}"]
         if isinstance(inst, Switch):
             table = {}
+            cases = []
             for const, target in inst.cases():
                 if const.value not in table:
                     table[const.value] = self.ns[block_names[id(target)]]
-            name = self._bind(table, "_SW")
+                    cases.append((const.value, self._block_index[id(target)]))
+            name = self._bind(table, "_SW", ("switch", tuple(cases)))
             default = block_names[id(inst.default)]
             return [f"return {name}.get({self._expr(inst.value)}, {default})"]
         if isinstance(inst, Ret):
@@ -626,28 +714,27 @@ class _Compiler:
         for i, cb in enumerate(compiled):
             block_names[id(cb.bb)] = f"_B{i}"
             self.ns[f"_B{i}"] = cb
+            self._block_index[id(cb.bb)] = i
+        for bi, block in enumerate(fn.blocks):
+            for ii, inst in enumerate(block.instructions):
+                self._inst_index[id(inst)] = (bi, ii)
 
         defs: list[tuple[str, list[str]]] = []
         # (cb, [(segment, fused_name, [op_names...])...], term_name)
         fixups = []
+        plan_blocks: list[dict] = []
 
         for cb in compiled:
-            insts = cb.bb.instructions
-            index = 0
-            phis = []
-            while index < len(insts) and isinstance(insts[index], Phi):
-                phis.append(insts[index])
-                index += 1
+            plan_block = {
+                "nphis": 0, "movers": [], "pairs": [],
+                "segments": [], "term": None,
+            }
+            phis, runs, terminator = _split_segments(cb.bb)
             if phis:
-                self._schedule_phis(cb, phis, defs)
+                self._schedule_phis(cb, phis, defs, plan_block)
 
-            terminator = None
             segments: list[tuple[_Segment, str, list[str]]] = []
-            run: list = []
-
-            def flush():
-                if not run:
-                    return
+            for run in runs:
                 costs = [INSTRUCTION_COSTS.get(i.opcode, 1) for i in run]
                 seg = _Segment(tuple(run), tuple(costs))
                 fused_name = self._name("_s")
@@ -672,19 +759,7 @@ class _Compiler:
                     op_names.append(op_name)
                 defs.append((fused_name, fused_body))
                 segments.append((seg, fused_name, op_names))
-                run.clear()
-
-            for inst in insts[index:]:
-                if isinstance(inst, _TERMINATORS):
-                    terminator = inst
-                    break
-                if isinstance(inst, Call):
-                    flush()
-                    run.append(inst)
-                    flush()
-                else:
-                    run.append(inst)
-            flush()
+                plan_block["segments"].append((fused_name, tuple(op_names)))
 
             term_name = None
             if terminator is not None:
@@ -694,7 +769,9 @@ class _Compiler:
                 )
                 cb.term_inst = terminator
                 cb.term_cost = INSTRUCTION_COSTS.get(terminator.opcode, 1)
+                plan_block["term"] = term_name
             fixups.append((cb, segments, term_name))
+            plan_blocks.append(plan_block)
 
         source_lines = []
         for name, body in defs:
@@ -722,13 +799,23 @@ class _Compiler:
                 if isinstance(mover_name, str):
                     cb.movers[pkey] = self.ns[mover_name]
 
+        plan = {
+            "version": EPLAN_VERSION,
+            "nslots": nslots,
+            "arg_slots": tuple(arg_slots),
+            "nblocks": len(compiled),
+            "binds": tuple(self.binds),
+            "blocks": plan_blocks,
+        }
         return CompiledFunction(
-            fn, nslots, tuple(arg_slots), compiled[0], tuple(compiled), self.refs
+            fn, nslots, tuple(arg_slots), compiled[0], tuple(compiled),
+            self.refs, plan, code,
         )
 
-    def _schedule_phis(self, cb, phis, defs) -> None:
+    def _schedule_phis(self, cb, phis, defs, plan_block) -> None:
         cb.nphis = len(phis)
         cb.phis = tuple(phis)
+        plan_block["nphis"] = len(phis)
         preds = []
         seen = set()
         for phi in phis:
@@ -737,6 +824,7 @@ class _Compiler:
                     seen.add(id(pred))
                     preds.append(pred)
         for pred in preds:
+            pred_index = self._block_index[id(pred)]
             pairs = []
             broken = None
             for phi in phis:
@@ -747,12 +835,15 @@ class _Compiler:
                     break
                 pairs.append((self.slots[id(phi)], value))
             if broken is not None:
-                raiser = _broken_edge_raiser(
+                message = (
                     f"phi {broken.ref()} has no incoming edge from "
                     f"{pred.name}"
                 )
+                raiser = _broken_edge_raiser(message)
                 cb.movers[id(pred)] = raiser
                 cb.move_pairs[id(pred)] = raiser
+                plan_block["movers"].append((pred_index, None, message))
+                plan_block["pairs"].append((pred_index, None, message))
                 continue
             mover_name = self._name("_m")
             if len(pairs) == 1:
@@ -774,6 +865,14 @@ class _Compiler:
             cb.move_pairs[id(pred)] = tuple(
                 (dst, self._getter(value)) for dst, value in pairs
             )
+            plan_block["movers"].append((pred_index, mover_name, None))
+            plan_block["pairs"].append((
+                pred_index,
+                tuple(
+                    (dst, self._getter_spec(value)) for dst, value in pairs
+                ),
+                None,
+            ))
 
 
 def _fell_through_raiser(block_name):
@@ -831,6 +930,156 @@ def _seg_slow(st, seg, regs):
         ops[i](st, regs)
 
 
+def _resolve_getter(spec, module, engine, refs):
+    kind = spec[0]
+    if kind == "slot":
+        return _slot_getter(spec[1])
+    if kind == "const":
+        return _const_getter(spec[1])
+    if kind == "global":
+        gv = module.globals.get(spec[1])
+        if gv is None:
+            raise EnginePlanError(f"plan references unknown global @{spec[1]}")
+        refs.append(gv)
+        return _global_getter(id(gv))
+    if kind == "fa":
+        target = module.functions.get(spec[1])
+        if target is None:
+            raise EnginePlanError(
+                f"plan references unknown function @{spec[1]}"
+            )
+        refs.append(target)
+        return _const_getter(engine.address_of(target))
+    raise EnginePlanError(f"unknown getter spec {spec!r}")
+
+
+def hydrate_function(
+    engine: "ExecutionEngine", fn: Function, plan: dict, code
+) -> CompiledFunction:
+    """Rebuild a :class:`CompiledFunction` from a serialized plan.
+
+    The expensive parts of :meth:`_Compiler.compile` — walking the IR to
+    emit source and running CPython's ``compile()`` — are skipped
+    entirely: ``code`` is the already-compiled code object (marshal'd by
+    the artifact cache) and ``plan`` carries the wiring (slots, segment
+    boundaries, phi movers, namespace bind specs) as indices into the
+    function's blocks/instructions.  Every process-specific value the
+    generated code needs (global ids, function addresses, callees,
+    switch tables) is re-resolved against ``fn``'s module here.
+
+    Raises :class:`EnginePlanError` when the plan does not match ``fn``
+    (stale or corrupt cache entry) — the caller recompiles.
+    """
+    module = fn.parent
+    if module is None:
+        raise EnginePlanError(f"function @{fn.name} has no parent module")
+    if plan.get("version") != EPLAN_VERSION:
+        raise EnginePlanError(
+            f"plan version {plan.get('version')} != {EPLAN_VERSION}"
+        )
+    if plan.get("nblocks") != len(fn.blocks):
+        raise EnginePlanError(
+            f"plan has {plan.get('nblocks')} blocks, @{fn.name} has "
+            f"{len(fn.blocks)}"
+        )
+    try:
+        compiled = [CompiledBlock(bb) for bb in fn.blocks]
+        ns = _base_namespace()
+        for i, cb in enumerate(compiled):
+            ns[f"_B{i}"] = cb
+        refs: list[object] = []
+        for name, spec in plan["binds"]:
+            kind = spec[0]
+            if kind == "const":
+                ns[name] = spec[1]
+            elif kind == "globalid":
+                gv = module.globals.get(spec[1])
+                if gv is None:
+                    raise EnginePlanError(
+                        f"plan references unknown global @{spec[1]}"
+                    )
+                refs.append(gv)
+                ns[name] = id(gv)
+            elif kind == "fa":
+                target = module.functions.get(spec[1])
+                if target is None:
+                    raise EnginePlanError(
+                        f"plan references unknown function @{spec[1]}"
+                    )
+                refs.append(target)
+                ns[name] = engine.address_of(target)
+            elif kind == "callee":
+                target = module.functions.get(spec[1])
+                if target is None:
+                    raise EnginePlanError(
+                        f"plan references unknown function @{spec[1]}"
+                    )
+                refs.append(target)
+                ns[name] = target
+            elif kind == "inst":
+                ns[name] = fn.blocks[spec[1]].instructions[spec[2]]
+            elif kind == "switch":
+                ns[name] = {
+                    value: compiled[bi] for value, bi in spec[1]
+                }
+            else:
+                raise EnginePlanError(f"unknown bind spec {spec!r}")
+
+        exec(code, ns)
+
+        for cb, plan_block in zip(compiled, plan["blocks"]):
+            phis, runs, terminator = _split_segments(cb.bb)
+            seg_plans = plan_block["segments"]
+            if (
+                len(runs) != len(seg_plans)
+                or len(phis) != plan_block["nphis"]
+                or (terminator is None) != (plan_block["term"] is None)
+            ):
+                raise EnginePlanError(
+                    f"plan does not match block %{cb.bb.name} of @{fn.name}"
+                )
+            cb.nphis = len(phis)
+            cb.phis = tuple(phis)
+            wired = []
+            for (fused_name, op_names), run in zip(seg_plans, runs):
+                costs = [INSTRUCTION_COSTS.get(i.opcode, 1) for i in run]
+                seg = _Segment(tuple(run), tuple(costs))
+                seg.fused = ns[fused_name]
+                seg.ops = tuple(ns[name] for name in op_names)
+                wired.append(seg)
+            cb.segments = tuple(wired)
+            if terminator is not None:
+                cb.term_op = ns[plan_block["term"]]
+                cb.term_inst = terminator
+                cb.term_cost = INSTRUCTION_COSTS.get(terminator.opcode, 1)
+            else:
+                cb.term_op = _fell_through_raiser(cb.bb.name)
+            for pred_index, mover_name, message in plan_block["movers"]:
+                pred = fn.blocks[pred_index]
+                cb.movers[id(pred)] = (
+                    ns[mover_name]
+                    if mover_name is not None
+                    else _broken_edge_raiser(message)
+                )
+            for pred_index, pair_specs, message in plan_block["pairs"]:
+                pred = fn.blocks[pred_index]
+                if pair_specs is None:
+                    cb.move_pairs[id(pred)] = _broken_edge_raiser(message)
+                else:
+                    cb.move_pairs[id(pred)] = tuple(
+                        (dst, _resolve_getter(spec, module, engine, refs))
+                        for dst, spec in pair_specs
+                    )
+    except EnginePlanError:
+        raise
+    except (KeyError, IndexError, TypeError, ValueError) as error:
+        raise EnginePlanError(f"corrupt plan for @{fn.name}: {error}")
+    return CompiledFunction(
+        fn, plan["nslots"], tuple(plan["arg_slots"]), compiled[0],
+        tuple(compiled), refs, plan, code,
+    )
+
+
 class ExecutionEngine:
     """Per-module cache of compiled functions.
 
@@ -863,6 +1112,18 @@ class ExecutionEngine:
             self.functions[id(fn)] = cf
             STATS.count("engine.compiles")
             STATS.count("engine.blocks_lowered", len(cf.blocks))
+        return cf
+
+    def adopt(self, fn: Function, plan: dict, code) -> CompiledFunction:
+        """Install a cached compilation plan instead of compiling.
+
+        Raises :class:`EnginePlanError` when the plan is stale — the
+        caller falls back to :meth:`compiled`.
+        """
+        with STATS.timer("engine.hydrate"):
+            cf = hydrate_function(self, fn, plan, code)
+        self.functions[id(fn)] = cf
+        STATS.count("engine.hydrations")
         return cf
 
     def invalidate(self, fn: Function | None = None) -> None:

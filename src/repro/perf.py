@@ -6,8 +6,13 @@ construction, alias-query memoization, transform pipelines) and the
 execution engine (``engine.compiles``, the ``engine.compile`` timer,
 ``engine.cache_hits``, ``engine.invalidations``, and the
 ``engine.blocks_compiled`` / ``engine.blocks_reference`` split showing
-which engine actually executed each run's blocks).  Two ways to see the
-numbers:
+which engine actually executed each run's blocks), plus the artifact
+cache (``cache.hits`` / ``cache.misses`` for content-addressed module
+lookups, ``cache.bytes_read`` / ``cache.bytes_written``,
+``cache.pdg_shards_hydrated`` / ``cache.engine_plans_hydrated``,
+``cache.evictions`` / ``cache.poisoned``, and the
+``cache.hydrate_module`` / ``cache.hydrate_pdg`` / ``engine.hydrate`` /
+``cache.publish`` timers).  Two ways to see the numbers:
 
 * set ``NOELLE_STATS=1`` in the environment — a table is printed to
   stderr when the process exits;

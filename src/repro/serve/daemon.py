@@ -65,6 +65,9 @@ class _Slot:
         self.lock = threading.Lock()
         self.restarts = 0
         self.generation = 0
+        #: Artifact-cache totals accumulated from this slot's replies.
+        self.cache_hits = 0
+        self.cache_misses = 0
 
 
 class Supervisor:
@@ -214,6 +217,9 @@ class Supervisor:
                 breaker.record_success()
             self._count("ok")
             meta.update(value.get("meta", {}))
+            with self._state_lock:
+                slot.cache_hits += meta.get("cache_hits", 0) or 0
+                slot.cache_misses += meta.get("cache_misses", 0) or 0
             return 200, {"ok": True, "result": value["result"], "meta": meta}
         self._count("errors")
         STATS.count("serve.errors")
@@ -313,6 +319,8 @@ class Supervisor:
                     "alive": bool(slot.worker and slot.worker.alive),
                     "jobs": slot.worker.jobs if slot.worker else 0,
                     "restarts": slot.restarts,
+                    "cache_hits": slot.cache_hits,
+                    "cache_misses": slot.cache_misses,
                 }
                 for slot in self._slots
             ],

@@ -26,12 +26,12 @@ import hashlib
 import os
 import time
 
+from .. import cache
 from ..core.noelle import Noelle
 from ..core.profiler import Profiler
-from ..frontend.codegen import compile_source
 from ..interp.engine import engine_mode
 from ..interp.interp import StepLimitExceeded
-from ..ir import parse_module, print_module, verify_module
+from ..ir import print_module, verify_module
 from ..perf import STATS
 from ..robust import faults
 from ..robust.diagnostics import EntryNotFoundError
@@ -134,6 +134,8 @@ def execute_job(job: dict) -> dict:
     plan = _plan_for(job)
     compiles_before = STATS.get("engine.compiles")
     hits_before = STATS.get("engine.cache_hits")
+    cache_hits_before = STATS.get("cache.hits")
+    cache_misses_before = STATS.get("cache.misses")
     try:
         with faults.armed(plan):
             _service_checkpoint()
@@ -151,6 +153,8 @@ def execute_job(job: dict) -> dict:
             "seconds": time.perf_counter() - started,
             "engine_compiles": STATS.get("engine.compiles") - compiles_before,
             "engine_cache_hits": STATS.get("engine.cache_hits") - hits_before,
+            "cache_hits": STATS.get("cache.hits") - cache_hits_before,
+            "cache_misses": STATS.get("cache.misses") - cache_misses_before,
             "resident_modules": len(state.modules),
         },
     }
@@ -175,9 +179,12 @@ def _resolve(job: dict, state: SessionState):
         warm = state.touches.get(name, 0) > 0
         state.touches[name] = state.touches.get(name, 0) + 1
         return module, state.noelles[name], name, warm
-    module = parse_module(job["ir"], "inline")
+    module = cache.load_ir_text(job["ir"], "inline")
     verify_module(module)
-    return module, Noelle(module), None, False
+    noelle = Noelle(module)
+    if cache.enabled():
+        cache.attach(noelle)
+    return module, noelle, None, False
 
 
 # -- operations ---------------------------------------------------------------
@@ -194,12 +201,18 @@ def _op_compile(job: dict, state: SessionState) -> dict:
         warm = True
     else:
         if source is not None:
-            module = compile_source(source, name)
+            # Warm path: a replacement worker after a crash (or any
+            # sibling worker) decodes the cached binary module and
+            # pre-hydrated PDG/engine artifacts instead of recompiling.
+            module = cache.cached_compile(source, name)
         else:
-            module = parse_module(job["ir"], name)
+            module = cache.load_ir_text(job["ir"], name)
         verify_module(module)
         state.modules[name] = module
-        state.noelles[name] = Noelle(module)
+        noelle = Noelle(module)
+        if cache.enabled():
+            cache.attach(noelle)
+        state.noelles[name] = noelle
         state.hashes[name] = digest
         state.profiles.pop(name, None)
         state.touches[name] = 0
@@ -298,6 +311,10 @@ def _op_run(job: dict, state: SessionState) -> dict:
     else:
         if result.trapped is not None:
             trap_kind = "MemoryTrap"
+    if cache.enabled():
+        # Share whatever this run compiled (engine plans) with sibling
+        # and replacement workers.
+        cache.publish_artifacts(module, _noelle)
     return {
         "output": [_json_value(v) for v in result.output],
         "return_value": _json_value(result.return_value),
@@ -319,6 +336,9 @@ def _op_check(job: dict, state: SessionState) -> dict:
     checkers = job.get("checkers")
     names = checkers.split(",") if checkers else None
     diagnostics = noelle.run_checks(names=names)
+    if cache.enabled():
+        # Checkers build PDG shards: publish them for other workers.
+        cache.publish_artifacts(module, noelle)
     records = [d.to_dict() for d in diagnostics]
     errors = sum(1 for d in records if d.get("severity") == "error")
     warnings = sum(1 for d in records if d.get("severity") == "warning")

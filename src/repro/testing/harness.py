@@ -26,9 +26,9 @@ Reproduced features:
 
 from __future__ import annotations
 
+from .. import cache
 from ..core.noelle import Noelle
 from ..core.profiler import Profiler
-from ..frontend.codegen import compile_source
 from ..interp.interp import Interpreter
 from ..ir import verify_module
 from ..robust.passmanager import PassManager
@@ -107,6 +107,8 @@ def _apply_tools(module, config: ToolConfig, crash_dir=None) -> PassManager:
     the whole corpus run.
     """
     noelle = Noelle(module)
+    if cache.enabled():
+        cache.attach(noelle)
     needs_profile = bool(
         {"doall", "helix", "dswp", "prvj", "prvjeeves", "perspective"}
         & set(config.tools)
@@ -128,9 +130,12 @@ def run_micro_test(test: MicroTest, config: ToolConfig) -> TestOutcome:
     """Compile, transform, and compare against the reference run."""
     outcome = TestOutcome(test, config)
     try:
-        reference_module = compile_source(test.source, test.name)
+        reference_module = cache.cached_compile(test.source, test.name)
         reference = Interpreter(reference_module).run()
-        module = compile_source(test.source, test.name)
+        # The reference module is never mutated: share its engine plans
+        # with other workers/processes driving the same corpus.
+        cache.publish_artifacts(reference_module)
+        module = cache.cached_compile(test.source, test.name)
         manager = _apply_tools(module, config)
         outcome.rolled_back = [r.name for r in manager.rolled_back()]
         verify_module(module)

@@ -9,8 +9,13 @@ Mirrors how the paper's users drive NOELLE from the shell (Figure 1):
     repro-noelle licm program.ir -o opt.ir
     repro-noelle dead program.ir -o slim.ir
     repro-noelle report program.ir          # PDG/loop/IV summary
+    repro-noelle compile program.ir --emit binary -o program.nir
+    repro-noelle cache stats                # artifact-cache maintenance
 
-Files: ``.mc`` MiniC sources, ``.ir`` textual IR.
+Files: ``.mc`` MiniC sources, ``.ir`` textual IR, ``.nir`` binary IR.
+Every command that reads ``.ir`` also accepts ``.nir`` (dispatch is by
+content, not extension).  With ``NOELLE_CACHE_DIR`` set, loads go
+through the content-addressed artifact cache.
 """
 
 from __future__ import annotations
@@ -19,9 +24,18 @@ import argparse
 import os
 import sys
 
+from .. import cache
 from ..core.noelle import Noelle
 from ..core.profiler import Profiler
-from ..ir import Module, parse_module, print_module, verify_module
+from ..ir import (
+    Module,
+    is_binary_ir,
+    parse_module,
+    print_module,
+    read_module,
+    verify_module,
+    write_module_file,
+)
 from ..perf import STATS, stats_enabled
 from ..robust.passmanager import PassManager
 from ..runtime.machine import ParallelMachine
@@ -30,13 +44,28 @@ from .whole_ir import whole_ir_from_files
 
 
 def _load_ir(path: str) -> Module:
-    with open(path) as handle:
-        module = parse_module(handle.read(), path)
+    """Load textual or binary IR, sniffing the binary magic."""
+    with open(path, "rb") as handle:
+        data = handle.read()
+    if is_binary_ir(data):
+        if cache.enabled():
+            return cache.load_ir_binary(data, path)
+        module = read_module(data)
+        verify_module(module)
+        return module
+    text = data.decode("utf-8")
+    if cache.enabled():
+        return cache.load_ir_text(text, path)
+    module = parse_module(text, path)
     verify_module(module)
     return module
 
 
 def _save_ir(module: Module, path: str | None) -> None:
+    if path is not None and path.endswith(".nir"):
+        write_module_file(module, path)
+        print(f"wrote {path} (binary)", file=sys.stderr)
+        return
     text = print_module(module)
     if path is None or path == "-":
         sys.stdout.write(text)
@@ -83,6 +112,9 @@ def _cmd_run(args) -> int:
         return EXIT_STEP_LIMIT
     for value in result.output:
         print(value)
+    if cache.enabled():
+        # Next invocation (any process) hydrates instead of recompiling.
+        cache.publish_artifacts(module)
     if result.trapped:
         print(f"TRAP: {result.trapped}", file=sys.stderr)
         return EXIT_TRAP
@@ -285,6 +317,61 @@ def _cmd_check(args) -> int:
     return 1 if has_errors(diagnostics) else 0
 
 
+def _cmd_compile(args) -> int:
+    """Translate between MiniC / textual IR / binary IR."""
+    if args.input.endswith(".mc"):
+        module = whole_ir_from_files([args.input], [])
+    else:
+        module = _load_ir(args.input)
+    output = args.output
+    emit = args.emit
+    if emit is None:
+        emit = "binary" if output and output.endswith(".nir") else "text"
+    if emit == "binary":
+        if output is None or output == "-":
+            print("repro-noelle compile: --emit binary needs -o FILE",
+                  file=sys.stderr)
+            return 2
+        if not output.endswith(".nir"):
+            write_module_file(module, output)
+            print(f"wrote {output} (binary)", file=sys.stderr)
+            return 0
+    _save_ir(module, output)
+    return 0
+
+
+def _cmd_cache(args) -> int:
+    store = cache.get_store()
+    if store is None:
+        print(
+            "repro-noelle cache: NOELLE_CACHE_DIR is not set "
+            "(the artifact cache is disabled)",
+            file=sys.stderr,
+        )
+        return 2
+    if args.action == "stats":
+        info = store.stats()
+        print(f"cache root: {info['root']}")
+        print(f"  entries:      {info['entries']}")
+        print(f"  aliases:      {info['aliases']}")
+        print(f"  PDG shards:   {info['pdg_shards']}")
+        print(f"  engine plans: {info['engine_plans']}")
+        print(f"  total bytes:  {info['total_bytes']}")
+        return 0
+    if args.action == "clear":
+        removed = store.clear()
+        print(f"cache clear: removed {removed} object(s)", file=sys.stderr)
+        return 0
+    pruned = store.gc()
+    print(
+        f"cache gc: pruned {pruned['pruned_entries']} entry(ies), "
+        f"{pruned['pruned_aliases']} alias(es), "
+        f"{pruned['pruned_tmp']} tmp file(s)",
+        file=sys.stderr,
+    )
+    return 0
+
+
 def _cmd_report(args) -> int:
     module = _load_ir(args.input)
     noelle = Noelle(module)
@@ -397,6 +484,28 @@ def build_parser() -> argparse.ArgumentParser:
     dead.add_argument("input")
     dead.add_argument("-o", "--output", default=None)
     dead.set_defaults(func=_cmd_dead)
+
+    compile_cmd = sub.add_parser(
+        "compile",
+        help="translate between MiniC (.mc), textual IR (.ir), and "
+        "binary IR (.nir)",
+    )
+    compile_cmd.add_argument("input", help="an .mc, .ir, or .nir file")
+    compile_cmd.add_argument("-o", "--output", default=None)
+    compile_cmd.add_argument(
+        "--emit",
+        choices=("text", "binary"),
+        default=None,
+        help="output form (default: binary iff the output ends in .nir)",
+    )
+    compile_cmd.set_defaults(func=_cmd_compile)
+
+    cache_cmd = sub.add_parser(
+        "cache",
+        help="inspect or maintain the artifact cache (NOELLE_CACHE_DIR)",
+    )
+    cache_cmd.add_argument("action", choices=("stats", "clear", "gc"))
+    cache_cmd.set_defaults(func=_cmd_cache)
 
     report = sub.add_parser("report", help="PDG/loop/IV summary of an IR file")
     report.add_argument("input")

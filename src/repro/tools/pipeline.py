@@ -78,6 +78,13 @@ def load(
     embedded = load_embedded_pdg(module)
     if embedded is not None:
         noelle.adopt_pdg(embedded)
+    else:
+        from .. import cache
+
+        if cache.enabled():
+            # Hydrate PDG shards / engine plans from the artifact cache
+            # and bind the facade so invalidation mirrors onto disk.
+            cache.attach(noelle)
     return noelle
 
 

@@ -9,7 +9,6 @@ iterates over.
 
 from __future__ import annotations
 
-from ..frontend.codegen import compile_source
 from ..ir import Module
 
 
@@ -35,8 +34,14 @@ class Workload:
         self.step_limit = step_limit
 
     def compile(self) -> Module:
-        """A fresh module (workloads are mutated by transformations)."""
-        return compile_source(self.source, self.name)
+        """A fresh module (workloads are mutated by transformations).
+
+        With ``NOELLE_CACHE_DIR`` set, a warm hit decodes the cached
+        binary module instead of re-running the frontend.
+        """
+        from ..cache import cached_compile
+
+        return cached_compile(self.source, self.name)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Workload {self.suite}/{self.name}>"

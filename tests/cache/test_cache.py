@@ -1,0 +1,224 @@
+"""Artifact cache: store semantics, hydration fidelity, invalidation."""
+
+import json
+import os
+
+import pytest
+
+from repro import cache
+from repro.cache.store import ArtifactStore, _fn_filename
+from repro.core.noelle import Noelle
+from repro.interp.engine import engine_for
+from repro.interp.interp import Interpreter
+from repro.ir import print_module
+from repro.perf import STATS
+from repro.workloads import get
+
+
+@pytest.fixture
+def store(tmp_path, monkeypatch):
+    root = tmp_path / "cache"
+    monkeypatch.setenv("NOELLE_CACHE_DIR", str(root))
+    # Engine plans only exist under the compiled engine; pin it so the
+    # plan-file assertions hold in the NOELLE_ENGINE=reference matrix.
+    monkeypatch.setenv("NOELLE_ENGINE", "compiled")
+    yield cache.get_store()
+
+
+def _publish_crc32():
+    """Compile, analyze, run, and publish crc32; returns its key."""
+    module = cache.cached_compile(get("crc32").source, "crc32")
+    noelle = Noelle(module)
+    cache.attach(noelle)
+    noelle.pdg().materialize()
+    result = Interpreter(module).run()
+    cache.publish_artifacts(module, noelle)
+    return cache.module_key(module), result
+
+
+def test_disabled_without_env(monkeypatch):
+    monkeypatch.delenv("NOELLE_CACHE_DIR", raising=False)
+    assert cache.get_store() is None
+    assert not cache.enabled()
+    # front doors fall back to the plain compile path
+    module = cache.cached_compile(get("crc32").source, "crc32")
+    assert module.functions
+
+
+def test_miss_then_hit(store):
+    before = STATS.get("cache.hits")
+    key, _ = _publish_crc32()
+    assert store.has_entry(key)
+    module2 = cache.cached_compile(get("crc32").source, "crc32")
+    assert STATS.get("cache.hits") == before + 1
+    assert cache.module_key(module2) == key
+
+
+def test_warm_hydration_is_byte_identical(store):
+    key, cold = _publish_crc32()
+    module = cache.cached_compile(get("crc32").source, "crc32")
+    noelle = Noelle(module)
+    cache.attach(noelle)
+    # PDG hydrated without touching alias analysis
+    assert noelle._pdg is not None
+    assert noelle._aa is None
+    # engine plans hydrated: the run does zero compiles
+    compiles_before = STATS.get("engine.compiles")
+    warm = Interpreter(module).run()
+    assert STATS.get("engine.compiles") == compiles_before
+    assert warm.output == cold.output
+    assert warm.steps == cold.steps
+    assert warm.cycles == cold.cycles
+    # hydrated PDG matches a fresh build
+    fresh = Noelle(cache.cached_compile(get("crc32").source, "crc32"))
+    fresh_pdg = fresh.pdg()
+    fresh_pdg.materialize()
+    warm_pdg = noelle.pdg()
+    warm_pdg.materialize()
+
+    def edges(pdg):
+        return sorted(
+            (str(e.src.value), str(e.dst.value), e.kind, e.data_kind,
+             e.is_memory, e.is_must)
+            for e in pdg._edges
+        )
+
+    assert edges(warm_pdg) == edges(fresh_pdg)
+    assert warm_pdg.memory_queries == fresh_pdg.memory_queries
+    assert warm_pdg.memory_disproved == fresh_pdg.memory_disproved
+
+
+def test_poisoned_module_is_evicted_as_miss(store):
+    key, _ = _publish_crc32()
+    nir_path = os.path.join(store.entry_dir(key), "module.nir")
+    with open(nir_path, "r+b") as handle:
+        handle.seek(30)
+        byte = handle.read(1)
+        handle.seek(30)
+        handle.write(bytes([byte[0] ^ 0xFF]))
+    poisoned_before = STATS.get("cache.poisoned")
+    misses_before = STATS.get("cache.misses")
+    module = cache.cached_compile(get("crc32").source, "crc32")
+    # hash mismatch: treated as a miss, entry evicted, recompiled
+    assert STATS.get("cache.poisoned") == poisoned_before + 1
+    assert STATS.get("cache.misses") == misses_before + 1
+    assert module.functions
+    # the recompile republished a clean entry
+    assert store.has_entry(key)
+    assert store.load_module(key) is not None
+
+
+def test_meta_version_skew_is_evicted(store):
+    key, _ = _publish_crc32()
+    meta_path = os.path.join(store.entry_dir(key), "meta.json")
+    with open(meta_path) as handle:
+        meta = json.load(handle)
+    meta["format"] = 999
+    with open(meta_path, "w") as handle:
+        json.dump(meta, handle)
+    assert store.load_module(key) is None
+    assert not store.has_entry(key)
+
+
+def test_per_function_invalidate_evicts_only_that_shard(store):
+    key, _ = _publish_crc32()
+    module = cache.cached_compile(get("crc32").source, "crc32")
+    noelle = Noelle(module)
+    binding = cache.attach(noelle)
+    names = [fn.name for fn in module.defined_functions()]
+    assert len(names) >= 2
+    victim = module.functions[names[0]]
+    victim_plan = os.path.join(
+        store.entry_dir(key), "engine", _fn_filename(names[0]) + ".plan"
+    )
+    other_plan = os.path.join(
+        store.entry_dir(key), "engine", _fn_filename(names[1]) + ".plan"
+    )
+    assert os.path.exists(victim_plan) and os.path.exists(other_plan)
+    noelle.invalidate(victim)
+    assert not os.path.exists(victim_plan)
+    assert os.path.exists(other_plan)
+    assert names[0] in binding.dirty
+    # dirty function is never published back
+    cache.publish_artifacts(module, noelle)
+    assert not os.path.exists(victim_plan)
+
+
+def test_full_invalidate_severs_binding(store):
+    _publish_crc32()
+    module = cache.cached_compile(get("crc32").source, "crc32")
+    noelle = Noelle(module)
+    cache.attach(noelle)
+    assert noelle._cache_binding is not None
+    noelle.invalidate()
+    assert noelle._cache_binding is None
+
+
+def test_corrupt_shard_and_plan_skipped(store):
+    key, _ = _publish_crc32()
+    for sub in ("pdg", "engine"):
+        directory = os.path.join(store.entry_dir(key), sub)
+        victim = os.path.join(directory, sorted(os.listdir(directory))[0])
+        with open(victim, "wb") as handle:
+            handle.write(b"not a pickle")
+    # corrupt artifacts are skipped, not fatal
+    module = cache.cached_compile(get("crc32").source, "crc32")
+    noelle = Noelle(module)
+    cache.attach(noelle)
+    result = Interpreter(module).run()
+    assert result.output
+
+
+def test_clear_and_gc(store):
+    key, _ = _publish_crc32()
+    # orphan an entry by dropping its meta.json
+    os.unlink(os.path.join(store.entry_dir(key), "meta.json"))
+    pruned = store.gc()
+    assert pruned["pruned_entries"] == 1
+    assert pruned["pruned_aliases"] == 1
+    assert store.stats()["entries"] == 0
+    _publish_crc32()
+    assert store.stats()["entries"] == 1
+    assert store.clear() > 0
+    assert store.stats()["entries"] == 0
+
+
+def test_store_stats_shape(store):
+    key, _ = _publish_crc32()
+    info = store.stats()
+    assert info["entries"] == 1
+    assert info["aliases"] == 1
+    assert info["pdg_shards"] >= 1
+    assert info["engine_plans"] >= 1
+    assert info["total_bytes"] > 0
+
+
+def test_concurrent_safe_filenames():
+    assert _fn_filename("main") == "main"
+    weird = _fn_filename("a/b c%d" + "x" * 100)
+    assert "/" not in weird and " " not in weird
+    assert len(weird) <= 80
+    assert _fn_filename("a/b") != _fn_filename("a_b")
+
+
+def test_transformed_module_not_poisoned_by_cache(store):
+    """A licm-transformed module runs identically with the cache on."""
+    from repro.robust.passmanager import PassManager
+
+    _publish_crc32()
+    module = cache.cached_compile(get("crc32").source, "crc32")
+    noelle = Noelle(module)
+    cache.attach(noelle)
+    manager = PassManager(noelle)
+    manager.run_registered("licm")
+    noelle.invalidate()
+    transformed = Interpreter(module).run()
+
+    reference_module = get("crc32").compile()
+    ref_noelle = Noelle(reference_module)
+    ref_manager = PassManager(ref_noelle)
+    ref_manager.run_registered("licm")
+    ref_noelle.invalidate()
+    reference = Interpreter(reference_module).run()
+    assert transformed.output == reference.output
+    assert print_module(module) == print_module(reference_module)

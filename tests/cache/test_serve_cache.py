@@ -1,0 +1,117 @@
+"""Serve integration: workers share the artifact cache across restarts."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+from contextlib import contextmanager
+
+import pytest
+
+from repro.serve.daemon import create_server, serve_forever
+from repro.workloads import registry
+
+
+class Client:
+    def __init__(self, server):
+        host, port = server.server_address[:2]
+        self.base = f"http://{host}:{port}"
+
+    def post(self, path, payload):
+        request = urllib.request.Request(
+            self.base + path,
+            data=json.dumps(payload).encode(),
+            headers={"Content-Type": "application/json"},
+            method="POST",
+        )
+        try:
+            with urllib.request.urlopen(request, timeout=60) as resp:
+                return resp.status, json.loads(resp.read())
+        except urllib.error.HTTPError as error:
+            return error.code, json.loads(error.read())
+
+    def get(self, path):
+        with urllib.request.urlopen(self.base + path, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+
+
+@contextmanager
+def serving(**kwargs):
+    kwargs.setdefault("workers", 1)
+    kwargs.setdefault("deadline_s", 60.0)
+    server = create_server(port=0, **kwargs)
+    thread = threading.Thread(
+        target=serve_forever, args=(server,), daemon=True
+    )
+    thread.start()
+    try:
+        yield Client(server), server
+    finally:
+        server.shutdown()
+        thread.join(timeout=30)
+
+
+@pytest.fixture
+def cache_dir(tmp_path, monkeypatch):
+    root = tmp_path / "cache"
+    monkeypatch.setenv("NOELLE_CACHE_DIR", str(root))
+    return root
+
+
+def test_replacement_worker_rehydrates_from_cache(cache_dir):
+    source = registry.get("crc32").source
+    with serving() as (client, _server):
+        # cold: the first worker compiles, runs, and publishes
+        status, body = client.post("/compile", {
+            "session": "s", "name": "m", "source": source,
+        })
+        assert status == 200, body
+        assert body["meta"]["cache_misses"] >= 1
+        status, body = client.post("/run", {"session": "s", "name": "m"})
+        assert status == 200 and body["result"]["exit_code"] == 0
+        cold_output = body["result"]["output"]
+
+        # kill the worker mid-request: session state dies with it
+        status, body = client.post("/run", {
+            "session": "s", "name": "m", "faults": "serve_kill:1",
+        })
+        assert status == 502
+        assert body["error"]["kind"] == "WorkerCrashed"
+
+        # the replacement worker hydrates the module from the cache
+        status, body = client.post("/compile", {
+            "session": "s", "name": "m", "source": source,
+        })
+        assert status == 200, body
+        assert body["meta"]["cache_hits"] >= 1
+        assert body["meta"]["cache_misses"] == 0
+        status, body = client.post("/run", {"session": "s", "name": "m"})
+        assert status == 200
+        assert body["result"]["output"] == cold_output
+        # hydrated engine plans: nothing recompiled on the warm run
+        assert body["meta"]["engine_compiles"] == 0
+
+        # /stats exposes per-worker cache totals
+        status, stats = client.get("/stats")
+        assert status == 200
+        worker = stats["workers"][0]
+        assert worker["cache_hits"] >= 1
+        assert worker["cache_misses"] >= 1
+        assert worker["restarts"] == 1
+
+
+def test_inline_ir_requests_use_the_cache(cache_dir):
+    from repro.frontend.codegen import compile_source
+    from repro.ir import print_module
+
+    text = print_module(compile_source(registry.get("crc32").source, "m"))
+    with serving() as (client, _server):
+        status, body = client.post("/run", {"ir": text})
+        assert status == 200, body
+        assert body["meta"]["cache_misses"] >= 1
+        first = body["result"]["output"]
+        status, body = client.post("/run", {"ir": text})
+        assert status == 200
+        assert body["meta"]["cache_hits"] >= 1
+        assert body["result"]["output"] == first
