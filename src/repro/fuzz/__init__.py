@@ -1,0 +1,37 @@
+"""repro.fuzz — coverage-guided differential fuzzing (ISSUE 9).
+
+The paper's Table 4 claim — that NOELLE's abstractions compose safely
+across many programs — is exercised here by *generated* programs rather
+than the 21 hand-shaped registry workloads.  A seeded, deterministic
+MiniC generator (:mod:`repro.fuzz.gen`) draws every structural choice
+from a recordable *decision trace* (:mod:`repro.fuzz.trace`); four
+differential oracles (:mod:`repro.fuzz.oracles`) cross-check each
+program; any divergence delta-debugs its decision trace down to a
+minimal reproducer (:mod:`repro.fuzz.minimize`) and lands as a crash
+bundle plus a committed regression fixture.  The campaign driver
+(:mod:`repro.fuzz.driver`) rides the supervised worker pool and the
+artifact cache, exposed as ``repro-noelle fuzz --seed N --count M
+--jobs J``.
+"""
+
+from .driver import CampaignReport, FuzzCaseResult, run_campaign, run_case
+from .gen import GeneratedProgram, generate_program, program_from_choices
+from .minimize import minimize_choices
+from .oracles import ORACLES, Divergence, run_oracles
+from .trace import DecisionTrace, TraceError
+
+__all__ = [
+    "CampaignReport",
+    "DecisionTrace",
+    "Divergence",
+    "FuzzCaseResult",
+    "GeneratedProgram",
+    "ORACLES",
+    "TraceError",
+    "generate_program",
+    "minimize_choices",
+    "program_from_choices",
+    "run_campaign",
+    "run_case",
+    "run_oracles",
+]

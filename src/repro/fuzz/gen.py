@@ -1,0 +1,499 @@
+"""Seeded, deterministic MiniC program generator.
+
+Programs are built from a :class:`~repro.fuzz.trace.DecisionTrace`:
+every structural choice — how many arrays, which dependence shape each
+loop has, how deep an expression grows — is one ``draw``.  Replaying
+the recorded choices reproduces the program byte-for-byte, and the
+trace is what the minimizer shrinks.
+
+Generated programs are *safe by construction* so that every divergence
+an oracle reports is a bug in the system under test, never in the
+input:
+
+* every loop has a literal bound (2..16) and a positive literal step;
+  ``while``/``do-while`` loops never contain ``continue`` (their
+  increment is the last statement of the body);
+* array subscripts are non-negative affine forms of loop variables
+  reduced ``% size`` — accumulators and loaded values never index;
+* ``/`` and ``%`` divide only by positive literal constants, and only
+  index-shaped (small, non-negative) expressions — magnitudes stay far
+  below 2**53 where the engines' float-based ``sdiv`` is exact;
+* floating constants are dyadic rationals (0.5, 1.25, ...), so sums
+  and bounded products are exact in binary and reduction reassociation
+  by the parallel runtime cannot drift;
+* helpers never recurse; function pointers are assigned before use.
+
+Dependence shapes per loop (the knob the differential oracles care
+about): ``independent`` (DOALL-able), ``reduction`` (loop-carried
+accumulator), ``carried`` (loop-carried through memory), ``mayalias``
+(stores through pointer args that may alias), ``indirect`` (call
+through a function pointer), ``struct`` (field traffic through a
+struct array), ``nested`` (doubly nested control flow).
+"""
+
+from __future__ import annotations
+
+from .trace import DecisionTrace
+
+#: Dependence shapes a loop can draw.  Order matters: index 0 is the
+#: simplest (what exhausted/zeroed traces collapse to).
+SHAPES = (
+    "independent",
+    "reduction",
+    "carried",
+    "mayalias",
+    "indirect",
+    "struct",
+    "nested",
+)
+
+_SIZES = (4, 6, 8, 12, 16)
+_BOUNDS = (2, 4, 6, 8, 12, 16)
+_CONSTS = (0, 1, 2, 3, 5, 7, 9)
+_DIVISORS = (1, 2, 3, 4, 7)
+_DYADIC = ("0.5", "1.5", "2.0", "0.75", "1.25", "3.0")
+
+
+class GeneratedProgram:
+    """One generated MiniC program plus its provenance."""
+
+    def __init__(
+        self,
+        name: str,
+        source: str,
+        family: str,
+        choices: tuple[int, ...],
+        seed: int | None = None,
+    ):
+        self.name = name
+        self.source = source
+        #: The dependence shape of the program's first loop.
+        self.family = family
+        #: Normalized (post-clamp) decision trace; replaying it through
+        #: :func:`program_from_choices` reproduces ``source`` exactly.
+        self.choices = choices
+        self.seed = seed
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<GeneratedProgram {self.name} family={self.family}>"
+
+
+class _Emitter:
+    """Indentation-aware line buffer."""
+
+    def __init__(self) -> None:
+        self.lines: list[str] = []
+        self.depth = 0
+
+    def emit(self, line: str) -> None:
+        self.lines.append("  " * self.depth + line)
+
+    def text(self) -> str:
+        return "\n".join(self.lines) + "\n"
+
+
+class _Generator:
+    def __init__(self, trace: DecisionTrace, family: str | None = None):
+        self.t = trace
+        self.family = family
+        self.out = _Emitter()
+        self.int_arrays: list[tuple[str, int]] = []
+        self.double_arrays: list[tuple[str, int]] = []
+        self.accs: list[str] = []
+        self.double_accs: list[str] = []
+        self.has_struct = False
+        self.struct_size = 0
+        self.has_indirect = False
+        self.has_mayalias = False
+        self.n_counter = 0
+
+    # -- small vocabularies -------------------------------------------
+
+    def _const(self) -> int:
+        return self.t.pick(_CONSTS)
+
+    def _index(self, var: str, size: int, depth: int = 1) -> str:
+        """A non-negative affine subscript reduced mod the array size."""
+        kind = self.t.draw(4 if depth > 0 else 3)
+        if kind == 0:
+            inner = var
+        elif kind == 1:
+            inner = f"{var} + {self._const()}"
+        elif kind == 2:
+            inner = f"{var} * {self.t.pick((1, 2, 3))} + {self._const()}"
+        else:
+            inner = f"({self._index(var, size, depth - 1)}) + {var}"
+        return f"({inner}) % {size}"
+
+    def _int_expr(self, var: str, depth: int = 2) -> str:
+        """A small integer expression over the loop variable, constants,
+        and (read-only) int array cells."""
+        kind = self.t.draw(6 if depth > 0 else 3)
+        if kind == 0:
+            return var
+        if kind == 1:
+            return str(self._const())
+        if kind == 2:
+            if self.int_arrays:
+                name, size = self.t.pick(self.int_arrays)
+                return f"{name}[{self._index(var, size)}]"
+            return f"{var} + {self._const()}"
+        if kind == 5:
+            # Division/remainder: index-shaped dividend, literal divisor.
+            divisor = self.t.pick(_DIVISORS[1:])
+            op2 = self.t.pick(("/", "%"))
+            return (
+                f"(({var} * {self.t.pick((1, 2, 3))} + {self._const()}) "
+                f"{op2} {divisor})"
+            )
+        op = self.t.pick(("+", "-", "*"))
+        lhs = self._int_expr(var, depth - 1)
+        rhs = self._int_expr(var, depth - 1)
+        return f"({lhs} {op} {rhs})"
+
+    def _double_expr(self, var: str, depth: int = 1) -> str:
+        kind = self.t.draw(4 if depth > 0 else 2)
+        if kind == 0:
+            return self.t.pick(_DYADIC)
+        if kind == 1:
+            if self.double_arrays:
+                name, size = self.t.pick(self.double_arrays)
+                return f"{name}[{self._index(var, size)}]"
+            return self.t.pick(_DYADIC)
+        op = self.t.pick(("+", "-", "*"))
+        return (
+            f"({self._double_expr(var, depth - 1)} {op} "
+            f"{self._double_expr(var, depth - 1)})"
+        )
+
+    def _fresh_loop_var(self) -> str:
+        self.n_counter += 1
+        return f"i{self.n_counter}"
+
+    # -- program layout -----------------------------------------------
+
+    def generate(self, name: str) -> GeneratedProgram:
+        shapes = self._plan_shapes()
+        self._emit_globals(shapes)
+        self._emit_helpers(shapes)
+        self._emit_main(shapes)
+        return GeneratedProgram(
+            name=name,
+            source=self.out.text(),
+            family=shapes[0],
+            choices=self.t.choices,
+        )
+
+    def _plan_shapes(self) -> list[str]:
+        n_loops = 1 + self.t.draw(3)
+        if self.family is not None:
+            # Family mode (registry sweeps): every loop has the family's
+            # dependence shape, so per-family speedup curves are clean.
+            return [self.family] * n_loops
+        return [self.t.pick(SHAPES) for _ in range(n_loops)]
+
+    def _emit_globals(self, shapes: list[str]) -> None:
+        n_int = 1 + self.t.draw(2)
+        for k in range(n_int):
+            size = self.t.pick(_SIZES)
+            self.int_arrays.append((f"ga{k}", size))
+            self.out.emit(f"int ga{k}[{size}];")
+        if self.t.maybe():
+            size = self.t.pick(_SIZES)
+            self.double_arrays.append(("gd0", size))
+            self.out.emit(f"double gd0[{size}];")
+        if "struct" in shapes:
+            self.has_struct = True
+            self.struct_size = self.t.pick(_SIZES)
+            self.out.emit("struct Cell { int lo; int hi; };")
+            self.out.emit(f"struct Cell cells[{self.struct_size}];")
+
+    def _emit_helpers(self, shapes: list[str]) -> None:
+        if "indirect" in shapes:
+            self.has_indirect = True
+            c1, c2 = self._const(), self._const()
+            self.out.emit(f"int pick_a(int x) {{ return x + {c1}; }}")
+            self.out.emit(
+                f"int pick_b(int x) {{ return x * {1 + self.t.draw(3)} + {c2}; }}"
+            )
+        if "mayalias" in shapes:
+            self.has_mayalias = True
+            off = self.t.pick((0, 1, 2, 3))
+            op = self.t.pick(("+", "-", "*"))
+            self.out.emit("void mix(int *dst, int *src, int n) {")
+            self.out.emit("  int j;")
+            self.out.emit("  for (j = 0; j < n; j = j + 1) {")
+            self.out.emit(
+                f"    dst[j] = dst[j] {op} src[(j + {off}) % n];"
+            )
+            self.out.emit("  }")
+            self.out.emit("}")
+
+    def _emit_main(self, shapes: list[str]) -> None:
+        self.out.emit("int main() {")
+        self.out.depth += 1
+        for k in range(len(shapes)):
+            self.out.emit(f"int acc{k} = {self._const()};")
+            self.accs.append(f"acc{k}")
+        if self.double_arrays or self.t.maybe():
+            self.out.emit("double facc = 0.5;")
+            self.double_accs.append("facc")
+        self._emit_init_loops()
+        for k, shape in enumerate(shapes):
+            self._emit_loop(shape, f"acc{k}")
+        self._emit_prints()
+        self.out.emit("return 0;")
+        self.out.depth -= 1
+        self.out.emit("}")
+
+    def _emit_init_loops(self) -> None:
+        for name, size in self.int_arrays:
+            var = self._fresh_loop_var()
+            self.out.emit(f"int {var};")
+            a, b = 1 + self.t.draw(9), self._const()
+            self.out.emit(
+                f"for ({var} = 0; {var} < {size}; {var} = {var} + 1) "
+                f"{{ {name}[{var}] = {var} * {a} + {b}; }}"
+            )
+        for name, size in self.double_arrays:
+            var = self._fresh_loop_var()
+            self.out.emit(f"int {var};")
+            self.out.emit(
+                f"for ({var} = 0; {var} < {size}; {var} = {var} + 1) "
+                f"{{ {name}[{var}] = {var} * {self.t.pick(_DYADIC)} + "
+                f"{self.t.pick(_DYADIC)}; }}"
+            )
+        if self.has_struct:
+            var = self._fresh_loop_var()
+            self.out.emit(f"int {var};")
+            self.out.emit(
+                f"for ({var} = 0; {var} < {self.struct_size}; "
+                f"{var} = {var} + 1) {{ cells[{var}].lo = {var} + "
+                f"{self._const()}; cells[{var}].hi = {var} * "
+                f"{1 + self.t.draw(4)}; }}"
+            )
+
+    # -- loop bodies per dependence shape -----------------------------
+
+    def _loop_header(self, var: str) -> tuple[str, int, int]:
+        bound = self.t.pick(_BOUNDS)
+        step = self.t.pick((1, 2))
+        kind = self.t.draw(3)  # 0 = for, 1 = while, 2 = do-while
+        return ("for", "while", "dowhile")[kind], bound, step
+
+    def _open_loop(self, var: str) -> tuple[str, int]:
+        kind, bound, step = self._loop_header(var)
+        self.out.emit(f"int {var};")
+        if kind == "for":
+            self.out.emit(
+                f"for ({var} = 0; {var} < {bound}; {var} = {var} + {step}) {{"
+            )
+        elif kind == "while":
+            self.out.emit(f"{var} = 0;")
+            self.out.emit(f"while ({var} < {bound}) {{")
+        else:
+            self.out.emit(f"{var} = 0;")
+            self.out.emit("do {")
+        self.out.depth += 1
+        return kind, bound
+
+    def _close_loop(self, var: str, kind: str, bound: int, step_done: bool) -> None:
+        if kind != "for" and not step_done:
+            self.out.emit(f"{var} = {var} + 1;")
+        self.out.depth -= 1
+        if kind == "dowhile":
+            self.out.emit(f"}} while ({var} < {bound});")
+        else:
+            self.out.emit("}")
+
+    def _guarded(self, var: str, statements: list[str], allow_skip: bool) -> None:
+        """Wrap the body statements in drawn control flow."""
+        deco = self.t.draw(4 if allow_skip else 3)
+        if deco == 0:
+            for s in statements:
+                self.out.emit(s)
+        elif deco == 1:
+            self.out.emit(f"if ({var} % 2 == {self.t.draw(2)}) {{")
+            self.out.depth += 1
+            for s in statements:
+                self.out.emit(s)
+            self.out.depth -= 1
+            self.out.emit("} else {")
+            self.out.depth += 1
+            self.out.emit(f"{self.accs[0]} = {self.accs[0]} + {self._const()};")
+            self.out.depth -= 1
+            self.out.emit("}")
+        elif deco == 2:
+            arms = 2 + self.t.draw(2)
+            self.out.emit(f"switch ({var} % {arms + 1}) {{")
+            self.out.depth += 1
+            for arm in range(arms):
+                self.out.emit(f"case {arm}: {{")
+                self.out.depth += 1
+                if arm == 0:
+                    for s in statements:
+                        self.out.emit(s)
+                else:
+                    self.out.emit(
+                        f"{self.accs[0]} = {self.accs[0]} + {arm};"
+                    )
+                self.out.emit("break;")
+                self.out.depth -= 1
+                self.out.emit("}")
+            self.out.emit("default: {")
+            self.out.depth += 1
+            for s in statements:
+                self.out.emit(s)
+            self.out.emit("break;")
+            self.out.depth -= 1
+            self.out.emit("}")
+            self.out.depth -= 1
+            self.out.emit("}")
+        else:
+            # continue-guard: only emitted inside `for` loops.  The
+            # modulus is odd so a step-2 induction never cancels it
+            # into an always-skipped body.
+            self.out.emit(f"if ({var} % {self.t.pick((3, 5))} == 0) {{ continue; }}")
+            for s in statements:
+                self.out.emit(s)
+
+    def _emit_loop(self, shape: str, acc: str) -> None:
+        var = self._fresh_loop_var()
+        kind, bound = self._open_loop(var)
+        allow_skip = kind == "for"
+        if shape == "independent":
+            name, size = self.t.pick(self.int_arrays)
+            body = [f"{name}[{var} % {size}] = {self._int_expr(var)};"]
+            if self.double_arrays and self.t.maybe():
+                dname, dsize = self.t.pick(self.double_arrays)
+                body.append(
+                    f"{dname}[{var} % {dsize}] = {self._double_expr(var)};"
+                )
+            self._guarded(var, body, allow_skip)
+        elif shape == "reduction":
+            body = [f"{acc} = {acc} + {self._int_expr(var)};"]
+            if self.double_accs and self.t.maybe():
+                body.append(
+                    f"{self.double_accs[0]} = {self.double_accs[0]} + "
+                    f"{self._double_expr(var)};"
+                )
+            self._guarded(var, body, allow_skip)
+        elif shape == "carried":
+            name, size = self.t.pick(self.int_arrays)
+            op = self.t.pick(("+", "-"))
+            self._guarded(
+                var,
+                [
+                    f"{name}[{var} % {size}] = "
+                    f"{name}[({var} + {size} - 1) % {size}] {op} "
+                    f"{self._int_expr(var, depth=1)};"
+                ],
+                allow_skip,
+            )
+        elif shape == "mayalias":
+            a, asize = self.t.pick(self.int_arrays)
+            b, _ = self.t.pick(self.int_arrays)
+            self.out.emit(f"mix({a}, {b}, {min(asize, dict(self.int_arrays)[b])});")
+            self.out.emit(f"{acc} = {acc} + {a}[{var} % {asize}];")
+        elif shape == "indirect":
+            self.out.emit("int (*fp)(int);")
+            self.out.emit("fp = pick_a;")
+            self.out.emit(
+                f"if (({var} + {self.t.draw(2)}) % 2 == 0) {{ fp = pick_b; }}"
+            )
+            self.out.emit(f"{acc} = {acc} + fp({var} + {self._const()});")
+        elif shape == "struct":
+            idx = f"({var}) % {self.struct_size}"
+            self._guarded(
+                var,
+                [
+                    f"cells[{idx}].lo = cells[{idx}].lo + {self._int_expr(var, 1)};",
+                    f"{acc} = {acc} + cells[{idx}].hi;",
+                ],
+                allow_skip,
+            )
+        elif shape == "nested":
+            inner = self._fresh_loop_var()
+            inner_bound = self.t.pick((2, 3, 4, 6))
+            name, size = self.t.pick(self.int_arrays)
+            self.out.emit(f"int {inner};")
+            self.out.emit(
+                f"for ({inner} = 0; {inner} < {inner_bound}; "
+                f"{inner} = {inner} + 1) {{"
+            )
+            self.out.depth += 1
+            if self.t.maybe():
+                self.out.emit(
+                    f"if ({inner} * {var} > {self.t.pick((6, 9, 12, 20))}) "
+                    "{ break; }"
+                )
+            self.out.emit(
+                f"{name}[({var} + {inner}) % {size}] = "
+                f"{name}[({var} * {inner_bound} + {inner}) % {size}] + "
+                f"{self._int_expr(inner, 1)};"
+            )
+            self.out.emit(f"{acc} = {acc} + {inner};")
+            self.out.depth -= 1
+            self.out.emit("}")
+        else:  # pragma: no cover - SHAPES is closed
+            raise ValueError(f"unknown shape {shape}")
+        self._close_loop(var, kind, bound, step_done=False)
+
+    def _emit_prints(self) -> None:
+        for acc in self.accs:
+            self.out.emit(f"print_int({acc});")
+        for facc in self.double_accs:
+            self.out.emit(f"print_float({facc});")
+        for name, size in self.int_arrays:
+            var = self._fresh_loop_var()
+            self.out.emit(f"int {var};")
+            self.out.emit(f"int sum_{name} = 0;")
+            self.out.emit(
+                f"for ({var} = 0; {var} < {size}; {var} = {var} + 1) "
+                f"{{ sum_{name} = sum_{name} + {name}[{var}]; }}"
+            )
+            self.out.emit(f"print_int(sum_{name});")
+        for name, size in self.double_arrays:
+            var = self._fresh_loop_var()
+            self.out.emit(f"int {var};")
+            self.out.emit(f"double fsum_{name} = 0.0;")
+            self.out.emit(
+                f"for ({var} = 0; {var} < {size}; {var} = {var} + 1) "
+                f"{{ fsum_{name} = fsum_{name} + {name}[{var}]; }}"
+            )
+            self.out.emit(f"print_float(fsum_{name});")
+        if self.has_struct:
+            var = self._fresh_loop_var()
+            self.out.emit(f"int {var};")
+            self.out.emit("int sum_cells = 0;")
+            self.out.emit(
+                f"for ({var} = 0; {var} < {self.struct_size}; "
+                f"{var} = {var} + 1) {{ sum_cells = sum_cells + "
+                f"cells[{var}].lo + cells[{var}].hi; }}"
+            )
+            self.out.emit("print_int(sum_cells);")
+
+
+def generate_program(
+    seed: int, family: str | None = None, name: str | None = None
+) -> GeneratedProgram:
+    """Generate one program from a PRNG seed (record mode)."""
+    trace = DecisionTrace(seed=seed)
+    program = _Generator(trace, family=family).generate(
+        name or f"fuzz_{seed}"
+    )
+    program.seed = seed
+    return program
+
+
+def program_from_choices(
+    choices, family: str | None = None, name: str | None = None
+) -> GeneratedProgram:
+    """Regenerate a program from a stored decision trace (replay mode).
+
+    Total: any integer sequence produces a valid program (exhausted
+    entries default to 0, oversized entries clamp), and the returned
+    ``choices`` are the normalized effective decisions.
+    """
+    trace = DecisionTrace(choices=list(choices))
+    return _Generator(trace, family=family).generate(name or "fuzz_replay")

@@ -1,0 +1,112 @@
+"""Delta-debugging over the generator's decision trace.
+
+A failing program is minimized by shrinking the *trace that generated
+it*, not its text: every candidate trace maps (totally) to a valid
+program, so the search space has no syntax errors, and "smaller trace"
+means "structurally simpler program" because the generator treats
+choice 0 as the simplest alternative everywhere.
+
+Two reduction passes run to a joint fixpoint:
+
+* **chunk deletion** (classic ddmin): remove contiguous chunks, halving
+  the chunk size down to single entries;
+* **pointwise lowering**: replace each entry by 0, then binary-search
+  the smallest value that still fails.
+
+Every accepted candidate is re-normalized (replayed through the
+generator, which clamps oversized entries and trims unused ones), so
+the result is a fixpoint of the whole procedure — minimizing a
+minimized trace is a no-op — and the algorithm is deterministic: same
+input trace + same predicate → same output trace.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from .gen import program_from_choices
+
+
+def _normalize(choices, family) -> tuple[int, ...]:
+    return program_from_choices(choices, family=family).choices
+
+
+def minimize_choices(
+    choices,
+    still_fails: Callable[[tuple[int, ...]], bool],
+    family: str | None = None,
+    max_evaluations: int = 600,
+) -> tuple[int, ...]:
+    """Shrink ``choices`` while ``still_fails(candidate)`` holds.
+
+    ``still_fails`` receives *normalized* candidate traces and must be
+    deterministic.  Returns a normalized trace that still fails; if the
+    original does not fail under normalization, it is returned as-is.
+    """
+    budget = [max_evaluations]
+
+    def check(candidate: tuple[int, ...]) -> bool:
+        if budget[0] <= 0:
+            return False
+        budget[0] -= 1
+        return bool(still_fails(candidate))
+
+    current = _normalize(choices, family)
+    if not check(current):
+        return current
+
+    changed = True
+    while changed and budget[0] > 0:
+        changed = False
+        # Pass 1: ddmin chunk deletion, coarse to fine.
+        size = max(1, len(current) // 2)
+        while size >= 1 and budget[0] > 0:
+            start = 0
+            while start < len(current) and budget[0] > 0:
+                candidate = _normalize(
+                    current[:start] + current[start + size:], family
+                )
+                if len(candidate) < len(current) and check(candidate):
+                    current = candidate
+                    changed = True
+                    # Retry the same window: it now covers new entries.
+                else:
+                    start += size
+            size //= 2
+        # Pass 2: pointwise lowering toward 0.
+        for index in range(len(current)):
+            if budget[0] <= 0 or index >= len(current):
+                break
+            value = current[index]
+            if value == 0:
+                continue
+            lowered = _try_lower(current, index, family, check)
+            if lowered is not None and lowered != current:
+                current = lowered
+                changed = True
+    return current
+
+
+def _try_lower(current, index, family, check):
+    """Smallest value at ``index`` that still fails, via binary search."""
+    value = current[index]
+
+    def with_value(v: int):
+        return _normalize(
+            current[:index] + (v,) + current[index + 1:], family
+        )
+
+    candidate = with_value(0)
+    if check(candidate):
+        return candidate
+    low, high = 0, value  # low fails-not, high fails
+    best = None
+    while high - low > 1:
+        mid = (low + high) // 2
+        candidate = with_value(mid)
+        if check(candidate):
+            high = mid
+            best = candidate
+        else:
+            low = mid
+    return best

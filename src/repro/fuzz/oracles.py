@@ -1,0 +1,352 @@
+"""The four differential oracles the fuzzer cross-checks per program.
+
+1. **engine** — the reference walker and the compiled engine must agree
+   byte-for-byte: output, return value, trap state, *and* the
+   steps/cycles counters, both for full runs and when a step budget
+   cuts execution mid-program (the trap-site/boundary accounting the
+   compiled engine corrects for).
+2. **parallel** — a DOALL/HELIX/DSWP parallelization committed by the
+   pass manager must preserve program output (floats compared with the
+   harness's relative tolerance), and the dynamic race oracle must stay
+   silent on it.
+3. **binio** — ``print → parse → print`` must be a fixpoint and the
+   binary ``.nir`` encoding must round-trip byte-identically, on a
+   profile-metadata-rich module.
+4. **checkers** — every race the dynamic oracle observes must be
+   covered by a static ``races`` finding (the zero-false-negative
+   contract of tests/checks/test_differential.py), on generated
+   programs instead of registry workloads.
+
+Every oracle returns ``None`` (agreement) or a :class:`Divergence`;
+unexpected exceptions inside an oracle are divergences too — a crash
+while cross-checking is never "explained".
+"""
+
+from __future__ import annotations
+
+import traceback
+
+from ..checks import run_checkers
+from ..checks.oracle import RaceOracle
+from ..core.noelle import Noelle
+from ..core.profiler import Profiler, embed_profile
+from ..frontend.codegen import compile_source
+from ..interp.interp import Interpreter, StepLimitExceeded
+from ..ir import (
+    parse_module,
+    print_module,
+    read_module,
+    verify_module,
+    write_module,
+)
+from ..robust.passmanager import PassManager
+from ..runtime.machine import ParallelMachine
+from .gen import GeneratedProgram
+
+#: Parallelizing techniques the parallel/checker oracles rotate over.
+TECHNIQUES = ("doall", "helix", "dswp")
+
+#: Step budget for full fuzz runs; generated programs finish in a few
+#: thousand steps, so hitting this means the input is invalid (the
+#: case is skipped), not that an engine diverged.
+FUZZ_STEP_LIMIT = 2_000_000
+
+
+class Divergence:
+    """One oracle disagreement, with everything needed to reproduce."""
+
+    def __init__(self, oracle: str, detail: str, program: GeneratedProgram):
+        self.oracle = oracle
+        self.detail = detail
+        self.program = program
+
+    def to_dict(self) -> dict:
+        return {
+            "oracle": self.oracle,
+            "detail": self.detail,
+            "name": self.program.name,
+            "family": self.program.family,
+            "seed": self.program.seed,
+            "choices": list(self.program.choices),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Divergence {self.oracle}: {self.detail[:60]}>"
+
+
+class _EngineRun:
+    """Outcome of one engine run, normalized for comparison."""
+
+    def __init__(self, module, engine: str, step_limit: int):
+        interp = Interpreter(module, step_limit=step_limit, engine=engine)
+        self.exceeded = False
+        self.error = ""
+        try:
+            result = interp.run()
+        except StepLimitExceeded:
+            self.exceeded = True
+            result = interp.result
+        except Exception as error:  # engine crash: compare the crash
+            self.error = f"{type(error).__name__}: {error}"
+            result = interp.result
+        self.output = list(result.output)
+        self.return_value = result.return_value
+        self.steps = result.steps
+        self.cycles = result.cycles
+        self.trapped = result.trapped
+
+    def signature(self) -> tuple:
+        return (
+            self.exceeded,
+            self.error,
+            self.output,
+            self.return_value,
+            self.steps,
+            self.cycles,
+            self.trapped,
+        )
+
+    def describe(self) -> str:
+        return (
+            f"exceeded={self.exceeded} error={self.error!r} "
+            f"steps={self.steps} cycles={self.cycles} "
+            f"trapped={self.trapped!r} ret={self.return_value!r} "
+            f"output={self.output!r}"
+        )
+
+
+def _compare_engines(module_ref, module_eng, step_limit, program, label):
+    ref = _EngineRun(module_ref, "reference", step_limit)
+    eng = _EngineRun(module_eng, "compiled", step_limit)
+    if ref.signature() != eng.signature():
+        return (
+            Divergence(
+                "engine",
+                f"{label}: reference[{ref.describe()}] vs "
+                f"compiled[{eng.describe()}]",
+                program,
+            ),
+            ref,
+        )
+    return None, ref
+
+
+def engine_divergence(program: GeneratedProgram) -> Divergence | None:
+    """Oracle 1: reference walker vs compiled engine."""
+    module = compile_source(program.source, program.name)
+    div, ref = _compare_engines(
+        module, module, FUZZ_STEP_LIMIT, program, "full"
+    )
+    if div is not None:
+        return div
+    if ref.exceeded or ref.error:
+        return None  # invalid input; both engines already agreed on it
+    # Boundary probes: cut execution mid-program and right before the
+    # end — the compiled engine's fused segments must charge steps at
+    # exactly the same instruction the walker does.
+    for limit in {max(1, ref.steps // 2), max(1, ref.steps - 1)}:
+        div, _ = _compare_engines(
+            module, module, limit, program, f"limit={limit}"
+        )
+        if div is not None:
+            return div
+    return None
+
+
+def _outputs_match(a: list, b: list, rel: float = 1e-6) -> bool:
+    if len(a) != len(b):
+        return False
+    for x, y in zip(a, b):
+        if isinstance(x, float) or isinstance(y, float):
+            scale = max(abs(float(x)), abs(float(y)), 1.0)
+            if abs(float(x) - float(y)) > rel * scale:
+                return False
+        elif x != y:
+            return False
+    return True
+
+
+def transform_divergences(
+    program: GeneratedProgram, technique: str, num_cores: int = 4
+) -> list[Divergence]:
+    """Oracles 2 + 4: one parallelization, checked for output equality,
+    dynamic race freedom, and static-checker coverage of every observed
+    race."""
+    divergences = []
+    seq_module = compile_source(program.source, program.name)
+    seq_interp = Interpreter(seq_module, step_limit=FUZZ_STEP_LIMIT)
+    try:
+        seq = seq_interp.run()
+    except StepLimitExceeded:
+        return []  # invalid input (engine oracle already vetted parity)
+    par_module = compile_source(program.source, program.name)
+    noelle = Noelle(par_module)
+    noelle.attach_profile(Profiler(par_module).profile())
+    manager = PassManager(noelle)
+    manager.run_registered("rm-lc-dependences")
+    options = (
+        {"num_cores": num_cores} if technique in ("doall", "helix") else {}
+    )
+    manager.run_registered(technique, **options)
+    rolled_back = [r.name for r in manager.rolled_back()]
+    verify_module(par_module)
+    par = ParallelMachine(par_module, num_cores=num_cores).run()
+    if bool(par.trapped) != bool(seq.trapped):
+        divergences.append(
+            Divergence(
+                "parallel",
+                f"{technique}: trap mismatch {par.trapped!r} vs "
+                f"{seq.trapped!r} (rolled_back={rolled_back})",
+                program,
+            )
+        )
+    elif not _outputs_match(par.output, seq.output):
+        divergences.append(
+            Divergence(
+                "parallel",
+                f"{technique}: outputs differ {par.output!r} vs "
+                f"{seq.output!r} (rolled_back={rolled_back})",
+                program,
+            )
+        )
+    elif par.return_value != seq.return_value:
+        divergences.append(
+            Divergence(
+                "parallel",
+                f"{technique}: return {par.return_value!r} vs "
+                f"{seq.return_value!r} (rolled_back={rolled_back})",
+                program,
+            )
+        )
+    # Oracle 4: static checkers vs the dynamic race oracle on the same
+    # transformed module.
+    diagnostics = run_checkers(par_module, noelle)
+    static_races = [d for d in diagnostics if d.checker == "races"]
+    oracle = RaceOracle(par_module, num_cores=num_cores)
+    oracle.run()
+    for race in oracle.races:
+        covered = any(
+            d.pass_name == race.kind and d.function == race.task
+            for d in static_races
+        )
+        if not covered:
+            divergences.append(
+                Divergence(
+                    "checkers",
+                    f"{technique}: dynamic race [{race}] not covered by "
+                    f"any static races finding "
+                    f"(static={len(static_races)})",
+                    program,
+                )
+            )
+    if oracle.races and technique not in rolled_back:
+        divergences.append(
+            Divergence(
+                "parallel",
+                f"{technique}: committed parallelization races "
+                f"dynamically: {oracle.races[0]}",
+                program,
+            )
+        )
+    return divergences
+
+
+def binio_divergence(program: GeneratedProgram) -> Divergence | None:
+    """Oracle 3: text print/parse fixpoint + binary round-trip identity
+    on a metadata-rich module."""
+    module = compile_source(program.source, program.name)
+    # Embed profile counts so string/metadata encode paths are hot.
+    embed_profile(module, Profiler(module).profile())
+    text = print_module(module)
+    reparsed = parse_module(text)
+    verify_module(reparsed)
+    text2 = print_module(reparsed)
+    if text2 != text:
+        return Divergence(
+            "binio", f"text round-trip not a fixpoint:\n{_diff(text, text2)}",
+            program,
+        )
+    data = write_module(module)
+    decoded = read_module(data)
+    verify_module(decoded)
+    text3 = print_module(decoded)
+    if text3 != text:
+        return Divergence(
+            "binio", f"binary round-trip changed text:\n{_diff(text, text3)}",
+            program,
+        )
+    data2 = write_module(decoded)
+    if data2 != data:
+        return Divergence(
+            "binio",
+            f"binary encoding not canonical: {len(data)} vs "
+            f"{len(data2)} bytes",
+            program,
+        )
+    return None
+
+
+def _diff(a: str, b: str, limit: int = 12) -> str:
+    import difflib
+
+    lines = list(
+        difflib.unified_diff(
+            a.splitlines(), b.splitlines(), lineterm="", n=1
+        )
+    )
+    return "\n".join(lines[:limit])
+
+
+def technique_for(program: GeneratedProgram) -> str:
+    """Deterministic technique rotation so a campaign covers all three."""
+    basis = program.seed if program.seed is not None else len(program.choices)
+    return TECHNIQUES[basis % len(TECHNIQUES)]
+
+
+def run_oracles(
+    program: GeneratedProgram,
+    oracles: tuple[str, ...] = ("engine", "parallel", "binio", "checkers"),
+    technique: str | None = None,
+) -> list[Divergence]:
+    """All requested oracles over one program.
+
+    An exception escaping an oracle is itself a divergence: the system
+    under test crashed on a valid generated program.
+    """
+    divergences: list[Divergence] = []
+    technique = technique or technique_for(program)
+
+    def guarded(oracle_name, thunk):
+        try:
+            return thunk()
+        except Exception:
+            divergences.append(
+                Divergence(
+                    oracle_name,
+                    f"oracle crashed:\n{traceback.format_exc(limit=8)}",
+                    program,
+                )
+            )
+            return None
+
+    if "engine" in oracles:
+        div = guarded("engine", lambda: engine_divergence(program))
+        if div:
+            divergences.append(div)
+    if "parallel" in oracles or "checkers" in oracles:
+        found = guarded(
+            "parallel",
+            lambda: transform_divergences(program, technique),
+        )
+        for div in found or []:
+            if div.oracle in oracles:
+                divergences.append(div)
+    if "binio" in oracles:
+        div = guarded("binio", lambda: binio_divergence(program))
+        if div:
+            divergences.append(div)
+    return divergences
+
+
+#: Names accepted by ``run_oracles`` / the CLI ``--oracles`` flag.
+ORACLES = ("engine", "parallel", "binio", "checkers")

@@ -1,0 +1,81 @@
+"""The decision trace: the generator's single source of randomness.
+
+Every structural choice the program generator makes is a ``draw(n)``
+from a :class:`DecisionTrace` — an integer in ``[0, n)``.  In *record*
+mode the draws come from a seeded PRNG and are logged; in *replay* mode
+they come from a stored sequence.  Two properties make the trace the
+right substrate for delta-debugging:
+
+* **replay is total** — an exhausted trace yields 0 and an oversized
+  value clamps to ``n - 1``, so *any* integer sequence maps to *some*
+  valid program.  Deleting or shrinking trace entries can never produce
+  an unusable input, which is exactly what ddmin needs.
+* **0 is the simplest alternative** — generators order their choices so
+  that drawing 0 picks the structurally smallest option (fewest
+  statements, no decoration, smallest constant).  Shrinking a trace
+  toward zeros therefore shrinks the program.
+
+The logged choices are always the *effective* (post-clamp) values, so
+``replay(trace.choices)`` reproduces the program byte-for-byte — the
+normalization that makes minimization idempotent.
+"""
+
+from __future__ import annotations
+
+import random
+
+
+class TraceError(Exception):
+    """A malformed decision trace (negative or non-integer entries)."""
+
+
+class DecisionTrace:
+    """Record or replay a sequence of bounded integer choices."""
+
+    def __init__(
+        self,
+        seed: int | None = None,
+        choices: list[int] | tuple[int, ...] | None = None,
+    ):
+        if (seed is None) == (choices is None):
+            raise TraceError("exactly one of seed/choices is required")
+        self._rng = random.Random(seed) if seed is not None else None
+        if choices is not None:
+            for value in choices:
+                if not isinstance(value, int) or isinstance(value, bool):
+                    raise TraceError(f"non-integer trace entry {value!r}")
+                if value < 0:
+                    raise TraceError(f"negative trace entry {value}")
+        self._replay = list(choices) if choices is not None else None
+        self._cursor = 0
+        self._log: list[int] = []
+
+    def draw(self, n: int) -> int:
+        """An integer in ``[0, n)``; logged so the trace can be replayed."""
+        if n <= 0:
+            raise TraceError(f"draw({n}) needs at least one alternative")
+        if self._rng is not None:
+            value = self._rng.randrange(n)
+        elif self._cursor < len(self._replay):
+            value = min(self._replay[self._cursor], n - 1)
+            self._cursor += 1
+        else:
+            value = 0
+        self._log.append(value)
+        return value
+
+    def maybe(self, weight_in: int = 1, weight_out: int = 1) -> bool:
+        """A biased coin; 0 (the simplest choice) means "no"."""
+        return self.draw(weight_in + weight_out) >= weight_out
+
+    def pick(self, options):
+        """One element of a non-empty sequence (0 -> first element)."""
+        return options[self.draw(len(options))]
+
+    @property
+    def choices(self) -> tuple[int, ...]:
+        """The effective (post-clamp) decisions made so far."""
+        return tuple(self._log)
+
+    def __len__(self) -> int:
+        return len(self._log)

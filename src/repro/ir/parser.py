@@ -123,10 +123,25 @@ class _TokenStream:
         return self.pos >= len(self.tokens)
 
 
-def parse_module(text: str, name: str = "module") -> Module:
-    """Parse a complete module from text."""
-    module = Module(name)
+def parse_module(text: str, name: str | None = None) -> Module:
+    """Parse a complete module from text.
+
+    When the caller does not name the module, the printer's
+    ``; module NAME`` header line names it — so ``parse(print(m))``
+    preserves the module name instead of collapsing it to "module".
+    """
     lines = text.splitlines()
+    if name is None:
+        name = "module"
+        for raw in lines:
+            stripped = raw.strip()
+            if not stripped:
+                continue
+            match = re.match(r";\s*module\s+(\S+)$", stripped)
+            if match:
+                name = match.group(1)
+            break
+    module = Module(name)
     # Pre-scan for struct names so struct types can be referenced before
     # their definition line.
     for raw in lines:

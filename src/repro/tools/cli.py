@@ -317,6 +317,57 @@ def _cmd_check(args) -> int:
     return 1 if has_errors(diagnostics) else 0
 
 
+ORACLE_NAMES = ("engine", "parallel", "binio", "checkers")
+
+
+def _cmd_fuzz(args) -> int:
+    from ..fuzz import run_campaign
+
+    oracles = tuple(
+        name.strip() for name in args.oracles.split(",") if name.strip()
+    )
+    unknown = [name for name in oracles if name not in ORACLE_NAMES]
+    if unknown:
+        print(
+            f"repro-noelle fuzz: unknown oracle(s) {', '.join(unknown)}; "
+            f"expected a subset of {', '.join(ORACLE_NAMES)}",
+            file=sys.stderr,
+        )
+        return 2
+
+    def progress(done: int, total: int, found: int) -> None:
+        if done % 50 == 0 or done == total:
+            print(
+                f"[fuzz] {done}/{total} cases, {found} divergence(s)",
+                file=sys.stderr,
+            )
+
+    report = run_campaign(
+        seed=args.seed,
+        count=args.count,
+        jobs=args.jobs,
+        oracles=oracles,
+        crash_dir=args.crash_dir,
+        fixtures_dir=args.fixtures_dir,
+        minimize=not args.no_minimize,
+        progress=progress,
+    )
+    for record in report.divergences:
+        print(
+            f"DIVERGENCE [{record['oracle']}] seed={record['seed']} "
+            f"technique={record.get('technique')}\n"
+            f"  {record['detail'].splitlines()[0][:200]}"
+        )
+    for failure in report.worker_failures:
+        print(f"WORKER FAILURE: {failure}")
+    for path in report.bundle_paths:
+        print(f"bundle: {path}", file=sys.stderr)
+    for path in report.fixture_paths:
+        print(f"fixture: {path}", file=sys.stderr)
+    print(report.summary())
+    return 0 if report.ok else 1
+
+
 def _cmd_compile(args) -> int:
     """Translate between MiniC / textual IR / binary IR."""
     if args.input.endswith(".mc"):
@@ -540,6 +591,31 @@ def build_parser() -> argparse.ArgumentParser:
         "print observed races next to the static findings",
     )
     check.set_defaults(func=_cmd_check)
+
+    fuzz = sub.add_parser(
+        "fuzz",
+        help="differential fuzzing: generate seeded MiniC programs and "
+        "cross-check the engines, the parallelizers, the binary IR "
+        "round-trip, and the checkers against the race oracle",
+    )
+    fuzz.add_argument("--seed", type=int, default=1,
+                      help="base campaign seed (default 1)")
+    fuzz.add_argument("--count", type=int, default=100,
+                      help="number of programs to generate (default 100)")
+    fuzz.add_argument("--jobs", type=int, default=None,
+                      help="fan cases out over N supervised worker "
+                      "processes")
+    fuzz.add_argument("--oracles", default=",".join(ORACLE_NAMES),
+                      metavar="LIST",
+                      help="comma-separated subset of: "
+                      f"{','.join(ORACLE_NAMES)}")
+    fuzz.add_argument("--fixtures-dir", default=None, metavar="DIR",
+                      help="write a regression-fixture JSON per "
+                      "divergence (ready for tests/fuzz/regressions/)")
+    fuzz.add_argument("--no-minimize", action="store_true",
+                      help="skip delta-debugging the decision traces of "
+                      "failing cases")
+    fuzz.set_defaults(func=_cmd_fuzz)
     return parser
 
 

@@ -78,4 +78,6 @@ def _ensure_loaded() -> None:
     global _LOADED
     if not _LOADED:
         _LOADED = True
-        from . import mibench, parsec, spec  # noqa: F401  (self-registering)
+        # Self-registering suites; `generated` contributes fuzz-generated
+        # families only when NOELLE_GENERATED_WORKLOADS opts in.
+        from . import generated, mibench, parsec, spec  # noqa: F401

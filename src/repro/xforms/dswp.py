@@ -328,7 +328,10 @@ class DSWP:
                 [ir.const_int(0), ir.const_int(field_index), ir.const_int(0)],
                 f"red.slot{position}",
             )
-            builder.store(cloned_phi, slot)
+            source = task_skeleton.clone_of(
+                boundary.reduction_exit_source(reduction)
+            )
+            builder.store(source, slot)
         builder.ret()
 
     def _build_selector(

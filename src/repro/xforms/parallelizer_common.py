@@ -58,6 +58,34 @@ class LoopBoundary:
     def only_reduction_live_outs(self) -> bool:
         return not self.non_reduction_live_outs
 
+    def reduction_exit_source(self, reduction: ReductionDescriptor):
+        """The value holding the accumulated total on the loop's exit edge.
+
+        Test-first loops (``for``/``while``) exit from the header before
+        the final iteration's update runs, so the total is the reduction
+        phi.  Test-last loops (``do-while``) take the exit branch *after*
+        the update — including the single-block case where the header is
+        also the exiting block — so the total is the latch-incoming
+        update; storing the phi there would drop the last iteration's
+        contribution.
+        """
+        update = reduction.exit_value()
+        header = reduction.phi.parent
+        for block in self.natural.blocks:
+            term = block.terminator
+            if term is None or not any(
+                not self.natural.contains_block(succ)
+                for succ in term.successors()
+            ):
+                continue
+            # The exit edge leaves `block`.  The update has already run
+            # on this iteration unless the exit leaves the header while
+            # the update sits in a later block.
+            if block is header and update.parent is not block:
+                return reduction.phi
+            return update
+        return reduction.phi
+
 
 def num_cores_global(module: ir.Module, default: int = 12) -> ir.GlobalVariable:
     """The runtime-tunable core-count knob read by parallelized code."""
@@ -191,7 +219,9 @@ def finish_task_with_reductions(
             [ir.const_int(0), ir.const_int(field_index), core_id],
             f"red.slot{position}",
         )
-        builder.store(cloned_phi, slot)
+        builder.store(
+            skeleton.clone_of(boundary.reduction_exit_source(reduction)), slot
+        )
     builder.ret()
 
 

@@ -1,0 +1,70 @@
+"""Differential oracles: clean on healthy seeds, loud on planted bugs."""
+
+from repro.fuzz.driver import run_case
+from repro.fuzz.gen import generate_program
+from repro.fuzz.oracles import (
+    ORACLES,
+    TECHNIQUES,
+    binio_divergence,
+    run_oracles,
+    technique_for,
+)
+
+
+class TestOracleRotation:
+    def test_technique_rotation_covers_all(self):
+        seen = {technique_for(generate_program(s)) for s in range(6)}
+        assert seen == set(TECHNIQUES)
+
+    def test_technique_is_deterministic(self):
+        program = generate_program(9)
+        assert technique_for(program) == technique_for(program)
+
+
+class TestOraclesClean:
+    def test_healthy_seeds_have_no_divergences(self):
+        for seed in range(4):
+            case = run_case(seed)
+            assert case.ok, case.divergences
+
+    def test_every_family_passes_all_oracles(self):
+        from repro.fuzz.gen import SHAPES
+
+        for index, family in enumerate(SHAPES):
+            program = generate_program(100 + index, family=family)
+            program.seed = 100 + index
+            divergences = run_oracles(program, oracles=ORACLES)
+            assert not divergences, (family, [d.detail for d in divergences])
+
+
+class TestOraclesDetect:
+    def test_binio_catches_mangled_round_trip(self, monkeypatch):
+        """A printer that mangles the module header must be flagged.
+
+        This is the planted version of the real bug this oracle found:
+        the parser used to drop the printer's ``; module NAME`` header,
+        so print -> parse -> print was not a fixpoint.
+        """
+        from repro.fuzz import oracles as oracles_module
+        from repro.ir import print_module as real_print
+
+        def lossy_print(module):
+            text = real_print(module)
+            return text.replace("; module ", "; module mangled_", 1)
+
+        monkeypatch.setattr(oracles_module, "print_module", lossy_print)
+        program = generate_program(3)
+        program.seed = 3
+        divergence = binio_divergence(program)
+        assert divergence is not None
+        assert divergence.oracle == "binio"
+
+    def test_divergence_records_carry_provenance(self):
+        program = generate_program(17)
+        program.seed = 17
+        # Healthy program: empty result still exercises the record path
+        # via run_case, which attaches technique + source when present.
+        case = run_case(17, oracles=("engine",))
+        assert case.ok
+        assert case.technique in TECHNIQUES
+        assert case.family == program.family

@@ -1,0 +1,54 @@
+"""Every minimized divergence the fuzzer ever found, kept fixed.
+
+Each JSON file under ``regressions/`` is the fixture the campaign
+driver emitted for a real, since-fixed bug: the minimized program
+source, the oracle that flagged it, and the technique in play.  The
+stored *source* is ground truth (generator evolution must not retire a
+regression), so fixtures replay even if the decision-trace encoding
+changes later.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.fuzz.gen import GeneratedProgram
+from repro.fuzz.oracles import ORACLES, run_oracles
+
+FIXTURES = sorted(
+    (Path(__file__).parent / "regressions").glob("*.json")
+)
+
+
+def _load(path: Path) -> dict:
+    payload = json.loads(path.read_text())
+    assert payload["oracle"] in ORACLES, path
+    return payload
+
+
+@pytest.mark.parametrize(
+    "fixture_path", FIXTURES, ids=[p.stem for p in FIXTURES]
+)
+def test_regression_stays_fixed(fixture_path):
+    payload = _load(fixture_path)
+    program = GeneratedProgram(
+        name=payload["name"],
+        source=payload["source"],
+        family=payload["family"],
+        choices=tuple(payload["choices"]),
+        seed=payload["seed"],
+    )
+    divergences = run_oracles(
+        program,
+        oracles=(payload["oracle"],),
+        technique=payload.get("technique"),
+    )
+    assert not divergences, [
+        d.detail for d in divergences
+    ]  # the bug in payload["detail"] has regressed
+
+
+def test_fixture_directory_is_not_empty():
+    """The suite must actually guard the historical bugs."""
+    assert len(FIXTURES) >= 2
