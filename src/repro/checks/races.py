@@ -27,6 +27,16 @@ dependence is an ERROR (the conflict provably happens), a *may* edge is
 a WARNING (the abstraction could not disprove it; on the registry
 workloads these are SCEV imprecision after chunking, and the oracle
 confirms they do not materialize).
+
+Under ``NOELLE_DEPTEST=1`` the symbolic dependence tests
+(:mod:`repro.analysis.deptest`) sharpen both directions: loop-carried
+may-edges the tests disprove never reach the checker (the WARNING is
+dropped as proven safe by the shared LoopDG refinement), and a surviving
+edge whose iteration distance the tests *proved* is upgraded to an ERROR
+in a DOALL task — DOALL promises zero carried dependences, so a proven
+distance is a definite race.  HELIX keeps the WARNING severity (the
+distance is reported) because cross-iteration conflicts there are only
+races when no sequential segment covers them across cores.
 """
 
 from __future__ import annotations
@@ -254,6 +264,12 @@ class RaceChecker(Checker):
                     if common:
                         continue  # serialized by a shared sequential segment
                 severity = "error" if edge.is_must else "warning"
+                distance = edge.distance
+                if distance is not None and construct.kind == "doall":
+                    # The dependence-test engine proved the conflict and
+                    # its iteration distance; a DOALL loop promises no
+                    # carried dependence at all, so this is definite.
+                    severity = "error"
                 key = frozenset((id(src), id(dst)))
                 previous = findings.get(key)
                 if previous is not None and previous.severity == "error":
@@ -263,6 +279,8 @@ class RaceChecker(Checker):
                     if construct.kind == "helix"
                     else "in a DOALL loop (which promises none)"
                 )
+                if distance is not None:
+                    suffix += f" (proven iteration distance {distance})"
                 findings[key] = Diagnostic(
                     self.name,
                     severity,

@@ -19,11 +19,21 @@ walks:
   A non-zero leading index (stepping off a single object) or a constant
   array index outside ``[0, count)`` is flagged: ERROR when the address
   feeds a load/store directly, WARNING when it is only computed.
+
+  Under ``NOELLE_DEPTEST=1`` the constant fold is upgraded to a
+  *symbolic range proof*: an array index that is an affine recurrence of
+  the enclosing loop is bounded by its SCEV range over the derived trip
+  count, and a range escaping ``[0, count)`` is flagged (WARNING — the
+  escaping iteration may be guarded) even though no single index is
+  constant.  Indices already wrapped by a provably in-range ``srem``
+  fold away and are proven safe by the same machinery.
 """
 
 from __future__ import annotations
 
 from ..analysis.aa import ModRefResult, underlying_object
+from ..analysis.deptest import deptest_enabled
+from ..analysis.scev import SCEVAddRec, ScalarEvolution
 from ..ir.instructions import Alloca, Call, Cast, ElemPtr, Load, Store
 from ..ir.types import ArrayType, StructType
 from ..ir.values import ConstantInt, GlobalVariable
@@ -41,7 +51,7 @@ class MemorySanitizer(Checker):
         diagnostics: list[Diagnostic] = []
         for fn in module.defined_functions():
             diagnostics.extend(self._check_use_before_init(fn, noelle))
-            diagnostics.extend(self._check_bounds(fn))
+            diagnostics.extend(self._check_bounds(fn, noelle))
         return diagnostics
 
     # -- use-before-init -----------------------------------------------------------
@@ -101,17 +111,24 @@ class MemorySanitizer(Checker):
         return diagnostics
 
     # -- static bounds -------------------------------------------------------------
-    def _check_bounds(self, fn) -> list[Diagnostic]:
+    def _check_bounds(self, fn, noelle) -> list[Diagnostic]:
         diagnostics = []
+        symbolic = _SymbolicBounds(fn, noelle) if deptest_enabled() else None
         for inst in fn.instructions():
             if not isinstance(inst, ElemPtr):
                 continue
             problem = _fold_indices(inst)
+            if problem is not None:
+                severity = (
+                    "error" if _directly_dereferenced(inst) else "warning"
+                )
+            elif symbolic is not None:
+                problem = symbolic.check(inst)
+                # The escaping iterations may be guarded inside the loop,
+                # so a range proof never claims more than a WARNING.
+                severity = "warning"
             if problem is None:
                 continue
-            severity = (
-                "error" if _directly_dereferenced(inst) else "warning"
-            )
             diagnostics.append(
                 Diagnostic(
                     self.name,
@@ -123,6 +140,80 @@ class MemorySanitizer(Checker):
                 )
             )
         return diagnostics
+
+
+class _SymbolicBounds:
+    """SCEV-range bounds proofs for loop-varying elem_ptr indices."""
+
+    def __init__(self, fn, noelle):
+        self.fn = fn
+        self._noelle = noelle
+        self._info = None
+        self._engines: dict[int, ScalarEvolution] = {}
+        self._pinned: dict[int, object] = {}
+
+    def _loop_of(self, inst):
+        if self._info is None:
+            if self._noelle is not None:
+                self._info = self._noelle.loop_info(self.fn)
+            else:
+                from ..analysis.loopinfo import LoopInfo
+
+                self._info = LoopInfo(self.fn)
+        return self._info.loop_of(inst.parent)
+
+    def _scev_of(self, loop) -> ScalarEvolution:
+        engine = self._engines.get(id(loop))
+        if engine is None:
+            engine = ScalarEvolution(loop, fold_srem=True)
+            self._engines[id(loop)] = engine
+            self._pinned[id(loop)] = loop
+        return engine
+
+    def check(self, inst: ElemPtr) -> str | None:
+        """OOB description when an index's iteration range escapes."""
+        loop = self._loop_of(inst)
+        if loop is None:
+            return None
+        base = inst.base
+        while isinstance(base, Cast):
+            base = base.value
+        if isinstance(base, (Alloca, GlobalVariable)):
+            allocated = base.allocated_type
+        else:
+            return None
+        scev = self._scev_of(loop)
+        current = allocated
+        for index in inst.indices[1:]:
+            if isinstance(current, ArrayType):
+                bounds = self._index_bounds(scev, index)
+                if bounds is not None:
+                    low, high = bounds
+                    if low < 0 or high >= current.count:
+                        return (
+                            f"index range [{low}, {high}] over the loop's "
+                            f"iterations escapes [0, {current.count}) of "
+                            f"{current} in {base.ref()}"
+                        )
+                current = current.element
+            elif isinstance(current, StructType):
+                if not isinstance(index, ConstantInt):
+                    return None
+                if not 0 <= index.value < len(current.fields):
+                    return None
+                current = current.fields[index.value]
+            else:
+                return None
+        return None
+
+    @staticmethod
+    def _index_bounds(scev: ScalarEvolution, index) -> tuple[int, int] | None:
+        if isinstance(index, ConstantInt):
+            return (index.value, index.value)
+        evolution = scev.evolution_of(index)
+        if isinstance(evolution, SCEVAddRec):
+            return scev.addrec_range(evolution)
+        return None
 
 
 def _fold_indices(inst: ElemPtr) -> str | None:

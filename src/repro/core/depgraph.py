@@ -24,7 +24,7 @@ class DGEdge(Generic[T]):
     """A directed dependence from ``src`` to ``dst`` (dst depends on src)."""
 
     __slots__ = ("src", "dst", "kind", "data_kind", "is_memory", "is_must",
-                 "is_loop_carried")
+                 "is_loop_carried", "distance")
 
     def __init__(
         self,
@@ -48,6 +48,9 @@ class DGEdge(Generic[T]):
         #: Actual (proved) vs apparent (may) dependence.
         self.is_must = is_must
         self.is_loop_carried = is_loop_carried
+        #: Proven iteration distance of a carried memory dependence, when
+        #: the dependence-test engine derived one (NOELLE_DEPTEST=1).
+        self.distance: int | None = None
 
     def is_data(self) -> bool:
         return self.kind == "data"
@@ -220,7 +223,7 @@ class DependenceGraph(Generic[T]):
                 result.add_node(edge.src.value, internal=False)
             if not dst_in:
                 result.add_node(edge.dst.value, internal=False)
-            result.add_edge(
+            copied = result.add_edge(
                 edge.src.value,
                 edge.dst.value,
                 edge.kind,
@@ -229,6 +232,7 @@ class DependenceGraph(Generic[T]):
                 edge.is_must,
                 edge.is_loop_carried,
             )
+            copied.distance = edge.distance
         return result
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -50,6 +50,7 @@ from ..analysis.aa import (
     underlying_object,
 )
 from ..analysis.controldep import ControlDependence
+from ..analysis.deptest import DependenceTester, FunctionDepTest, deptest_enabled
 from ..analysis.loopinfo import NaturalLoop
 from ..analysis.pointsto import AndersenAliasAnalysis
 from ..analysis.scev import SCEVAddRec, SCEVConstant, SCEVUnknown, ScalarEvolution
@@ -95,6 +96,9 @@ class PDG(DependenceGraph[Instruction]):
         self._memory_disproved = 0
         self._shards: dict[int, _Shard] = {}
         self._materializing = False
+        #: Per-shard symbolic dependence tester (NOELLE_DEPTEST=1 only);
+        #: live only while its shard builds, so invalidation stays warm.
+        self._deptest: FunctionDepTest | None = None
         if not lazy:
             self.materialize()
 
@@ -256,9 +260,13 @@ class PDG(DependenceGraph[Instruction]):
         for inst in instructions:
             self.add_node(inst, internal=True)
         shard.node_ids = [id(inst) for inst in instructions]
-        self._add_register_dependences(instructions)
-        self._add_memory_dependences(instructions)
-        self._add_control_dependences(fn)
+        self._deptest = FunctionDepTest(fn) if deptest_enabled() else None
+        try:
+            self._add_register_dependences(instructions)
+            self._add_memory_dependences(instructions)
+            self._add_control_dependences(fn)
+        finally:
+            self._deptest = None
         shard.edges = self._edges[edges_before:]
         shard.queries = self._memory_queries - queries_before
         shard.disproved = self._memory_disproved - disproved_before
@@ -407,6 +415,19 @@ class PDG(DependenceGraph[Instruction]):
         if result is None:
             self._memory_disproved += 1
             return
+        if self._deptest is not None and self._deptest.proves_independent(a, b):
+            # The symbolic dependence tests disproved the pair the alias
+            # analysis could not: keep Figure 3 semantics (queried and
+            # disproved) and add no edges.
+            self._memory_disproved += 1
+            STATS.count("deptest.pdg_pairs_pruned")
+            STATS.count(
+                "deptest.pdg_edges_pruned",
+                int(writes_a and reads_b)
+                + int(writes_a and writes_b)
+                + int(reads_a and writes_b),
+            )
+            return
         is_must = result
         if writes_a and reads_b:
             self.add_edge(a, b, "data", "RAW", is_memory=True, is_must=is_must)
@@ -470,6 +491,7 @@ class PDG(DependenceGraph[Instruction]):
         pdg.aa = None
         pdg.partition = True
         pdg._materializing = False
+        pdg._deptest = None
         pdg._memory_queries = stats.get("memory_queries", 0)
         pdg._memory_disproved = stats.get("memory_disproved", 0)
         pdg._shards = {}
@@ -537,6 +559,10 @@ class LoopDG(DependenceGraph[Instruction]):
         self.pdg = pdg
         self.loop = loop
         self._scev = ScalarEvolution(loop)
+        #: Lazy symbolic dependence tester (NOELLE_DEPTEST=1 only).
+        self._deptester: DependenceTester | None = None
+        #: Distance side-channel from _memory_dep_carried to the edge.
+        self._carried_distance: int | None = None
         internal = list(loop.instructions())
         internal_ids = {id(i) for i in internal}
         base = pdg.subgraph(internal)
@@ -544,9 +570,10 @@ class LoopDG(DependenceGraph[Instruction]):
             self.add_node(node.value, internal=node.is_internal)
         for edge in base.edges():
             carried = False
+            self._carried_distance = None
             if edge.dst.is_internal and edge.src.is_internal:
                 carried = self._is_loop_carried(edge)
-            self.add_edge(
+            added = self.add_edge(
                 edge.src.value,
                 edge.dst.value,
                 edge.kind,
@@ -555,6 +582,7 @@ class LoopDG(DependenceGraph[Instruction]):
                 edge.is_must,
                 is_loop_carried=carried,
             )
+            added.distance = self._carried_distance if carried else edge.distance
             # A carried memory conflict is direction-free: the later
             # instruction of one iteration conflicts with the earlier one of
             # the next.  The program-order PDG only has the forward edge, so
@@ -564,7 +592,7 @@ class LoopDG(DependenceGraph[Instruction]):
                 src, dst = edge.src.value, edge.dst.value
                 reverse_kind = _reverse_memory_kind(dst, src)
                 if reverse_kind is not None:
-                    self.add_edge(
+                    reverse = self.add_edge(
                         dst,
                         src,
                         "data",
@@ -573,6 +601,8 @@ class LoopDG(DependenceGraph[Instruction]):
                         is_must=edge.is_must,
                         is_loop_carried=True,
                     )
+                    if added.distance is not None:
+                        reverse.distance = -added.distance
 
     # -- loop-carried classification ----------------------------------------------
     def _is_loop_carried(self, edge: DGEdge[Instruction]) -> bool:
@@ -580,7 +610,10 @@ class LoopDG(DependenceGraph[Instruction]):
             return False
         if not edge.is_memory:
             return self._register_dep_carried(edge.src.value, edge.dst.value)
-        return self._memory_dep_carried(edge.src.value, edge.dst.value)
+        carried = self._memory_dep_carried(edge.src.value, edge.dst.value)
+        if carried and deptest_enabled():
+            return self._deptest_carried(edge.src.value, edge.dst.value)
+        return carried
 
     def _register_dep_carried(self, src: Instruction, dst: Instruction) -> bool:
         """A register dependence is carried iff it flows around the back edge.
@@ -617,6 +650,22 @@ class LoopDG(DependenceGraph[Instruction]):
             return True  # different bases that still may-alias: conservative
         if step_src == step_dst and step_src != 0 and start_src == start_dst:
             return False
+        return True
+
+    def _deptest_carried(self, src: Instruction, dst: Instruction) -> bool:
+        """Refine a still-carried verdict with the symbolic dependence tests.
+
+        Only consulted under NOELLE_DEPTEST=1.  Returns the refined
+        carried flag and stashes a proven iteration distance (if any) in
+        ``self._carried_distance`` for the edge being built.
+        """
+        if self._deptester is None:
+            self._deptester = DependenceTester(self.loop)
+        carried, distance = self._deptester.carried(src, dst)
+        if not carried:
+            STATS.count("deptest.carried_disproved")
+            return False
+        self._carried_distance = distance
         return True
 
     def _affine_access(self, address: Value):

@@ -1,4 +1,4 @@
-"""The four differential oracles the fuzzer cross-checks per program.
+"""The five differential oracles the fuzzer cross-checks per program.
 
 1. **engine** — the reference walker and the compiled engine must agree
    byte-for-byte: output, return value, trap state, *and* the
@@ -16,6 +16,12 @@
    covered by a static ``races`` finding (the zero-false-negative
    contract of tests/checks/test_differential.py), on generated
    programs instead of registry workloads.
+5. **deptest** — every symbolic dependence-test verdict
+   (:mod:`repro.analysis.deptest`) is validated against the actual
+   addresses the reference walker touches: a PROVEN_INDEPENDENT pair
+   must never access a common address within one loop execution, and a
+   PROVEN_DEPENDENT pair with a proven distance may only conflict at
+   exactly that iteration gap.
 
 Every oracle returns ``None`` (agreement) or a :class:`Divergence`;
 unexpected exceptions inside an oracle are divergences too — a crash
@@ -26,9 +32,12 @@ from __future__ import annotations
 
 import traceback
 
+from ..analysis.deptest import DependenceTester
+from ..analysis.loopinfo import LoopInfo
 from ..checks import run_checkers
 from ..checks.oracle import RaceOracle
 from ..core.noelle import Noelle
+from ..ir.instructions import Load, Store
 from ..core.profiler import Profiler, embed_profile
 from ..frontend.codegen import compile_source
 from ..interp.interp import Interpreter, StepLimitExceeded
@@ -286,6 +295,161 @@ def binio_divergence(program: GeneratedProgram) -> Divergence | None:
     return None
 
 
+class _DepClaim:
+    """One static dependence-test verdict awaiting dynamic validation."""
+
+    __slots__ = ("fn_name", "loop", "a", "b", "verdict")
+
+    def __init__(self, fn_name, loop, a, b, verdict):
+        self.fn_name = fn_name
+        self.loop = loop
+        self.a = a
+        self.b = b
+        self.verdict = verdict
+
+    def describe(self) -> str:
+        return (
+            f"{self.fn_name}/%{self.loop.header.name}: "
+            f"{self.a.ref()} vs {self.b.ref()} claimed "
+            f"{self.verdict.kind}"
+            + (
+                f"(distance={self.verdict.distance})"
+                if self.verdict.distance is not None
+                else ""
+            )
+            + f" [{self.verdict.reason}]"
+        )
+
+
+class _DepRecorder:
+    """Per-loop (run, iteration, address) logs for claimed access pairs.
+
+    Installed as the interpreter's ``edge_observer`` + ``memory_observer``
+    pair: the edge observer counts loop executions (header entered from
+    outside) and iterations (header entered from a latch), the memory
+    observer stamps each claimed instruction's accesses with the current
+    position of every claimed loop containing it.
+    """
+
+    def __init__(self, claims: "list[_DepClaim]"):
+        self.loops: dict[int, object] = {}
+        self.counters: dict[int, list[int]] = {}  # loop id -> [run, iter]
+        self.inst_loops: dict[int, list[int]] = {}
+        self.events: dict[tuple[int, int], list[tuple[int, int, int]]] = {}
+        for claim in claims:
+            loop_id = id(claim.loop)
+            self.loops[loop_id] = claim.loop
+            self.counters.setdefault(loop_id, [0, -1])
+            for inst in (claim.a, claim.b):
+                loops = self.inst_loops.setdefault(id(inst), [])
+                if loop_id not in loops:
+                    loops.append(loop_id)
+
+    def on_edge(self, from_block, to_block) -> None:
+        for loop_id, loop in self.loops.items():
+            if to_block is not loop.header:
+                continue
+            counter = self.counters[loop_id]
+            if loop.contains_block(from_block):
+                counter[1] += 1  # back edge: next iteration
+            else:
+                counter[0] += 1  # fresh execution of the loop
+                counter[1] = 0
+
+    def on_access(self, kind: str, address: int, inst) -> None:
+        for loop_id in self.inst_loops.get(id(inst), ()):
+            run, iteration = self.counters[loop_id]
+            if iteration < 0:
+                continue  # loop never entered through its header yet
+            self.events.setdefault((id(inst), loop_id), []).append(
+                (run, iteration, address)
+            )
+
+    def accesses_of(self, inst, loop) -> list[tuple[int, int, int]]:
+        return self.events.get((id(inst), id(loop)), [])
+
+
+def _check_dep_claim(claim: _DepClaim, recorder: _DepRecorder) -> str | None:
+    """Violation description if the dynamic log contradicts the claim."""
+    events_a = recorder.accesses_of(claim.a, claim.loop)
+    events_b = recorder.accesses_of(claim.b, claim.loop)
+    if not events_a or not events_b:
+        return None
+    by_run: dict[tuple[int, int], list[int]] = {}
+    for run, iteration, address in events_b:
+        by_run.setdefault((run, address), []).append(iteration)
+    for run, iter_a, address in events_a:
+        iters_b = by_run.get((run, address))
+        if not iters_b:
+            continue
+        if claim.verdict.is_independent:
+            return (
+                f"{claim.describe()} but both touched address {address} "
+                f"in run {run} (a@iter {iter_a}, b@iters {iters_b})"
+            )
+        distance = claim.verdict.distance
+        for iter_b in iters_b:
+            if claim.a is claim.b and iter_b == iter_a:
+                continue  # an access trivially aliases itself
+            if iter_b - iter_a != distance:
+                return (
+                    f"{claim.describe()} but address {address} in run "
+                    f"{run} conflicts at gap {iter_b - iter_a} "
+                    f"(a@iter {iter_a}, b@iter {iter_b})"
+                )
+    return None
+
+
+def deptest_divergence(program: GeneratedProgram) -> Divergence | None:
+    """Oracle 5: symbolic dependence-test verdicts vs observed addresses.
+
+    Every PROVEN_INDEPENDENT pair must never touch a common address
+    within one execution of its loop; every PROVEN_DEPENDENT pair with a
+    proven distance ``d`` may only conflict at exactly that iteration
+    gap.  Claims are enumerated statically (independently of the
+    ``NOELLE_DEPTEST`` flag) and validated against the reference
+    walker's memory trace.
+    """
+    module = compile_source(program.source, program.name)
+    claims: list[_DepClaim] = []
+    for fn in module.defined_functions():
+        for loop in LoopInfo(fn).loops():
+            tester = DependenceTester(loop)
+            accesses = [
+                inst
+                for block in loop.blocks
+                for inst in block.instructions
+                if isinstance(inst, (Load, Store))
+            ]
+            for i, a in enumerate(accesses):
+                for b in accesses[i:]:
+                    if not isinstance(a, Store) and not isinstance(b, Store):
+                        continue  # read/read pairs are not dependences
+                    verdict = tester.test_pair(a, b)
+                    if verdict.is_independent or (
+                        verdict.is_dependent
+                        and verdict.distance is not None
+                    ):
+                        claims.append(_DepClaim(fn.name, loop, a, b, verdict))
+    if not claims:
+        return None
+    recorder = _DepRecorder(claims)
+    interp = Interpreter(
+        module, step_limit=FUZZ_STEP_LIMIT, engine="reference"
+    )
+    interp.edge_observer = recorder.on_edge
+    interp.memory_observer = recorder.on_access
+    try:
+        interp.run()
+    except StepLimitExceeded:
+        return None  # invalid input; nothing to validate
+    for claim in claims:
+        violation = _check_dep_claim(claim, recorder)
+        if violation is not None:
+            return Divergence("deptest", violation, program)
+    return None
+
+
 def _diff(a: str, b: str, limit: int = 12) -> str:
     import difflib
 
@@ -305,7 +469,9 @@ def technique_for(program: GeneratedProgram) -> str:
 
 def run_oracles(
     program: GeneratedProgram,
-    oracles: tuple[str, ...] = ("engine", "parallel", "binio", "checkers"),
+    oracles: tuple[str, ...] = (
+        "engine", "parallel", "binio", "checkers", "deptest"
+    ),
     technique: str | None = None,
 ) -> list[Divergence]:
     """All requested oracles over one program.
@@ -345,8 +511,12 @@ def run_oracles(
         div = guarded("binio", lambda: binio_divergence(program))
         if div:
             divergences.append(div)
+    if "deptest" in oracles:
+        div = guarded("deptest", lambda: deptest_divergence(program))
+        if div:
+            divergences.append(div)
     return divergences
 
 
 #: Names accepted by ``run_oracles`` / the CLI ``--oracles`` flag.
-ORACLES = ("engine", "parallel", "binio", "checkers")
+ORACLES = ("engine", "parallel", "binio", "checkers", "deptest")

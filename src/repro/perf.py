@@ -12,7 +12,15 @@ lookups, ``cache.bytes_read`` / ``cache.bytes_written``,
 ``cache.pdg_shards_hydrated`` / ``cache.engine_plans_hydrated``,
 ``cache.evictions`` / ``cache.poisoned``, and the
 ``cache.hydrate_module`` / ``cache.hydrate_pdg`` / ``engine.hydrate`` /
-``cache.publish`` timers).  Two ways to see the numbers:
+``cache.publish`` timers), plus the symbolic dependence-test engine
+(``deptest.pairs_tested`` with its
+``deptest.proven_independent`` / ``deptest.proven_dependent`` /
+``deptest.unknown`` verdict split, ``deptest.pdg_pairs_pruned`` /
+``deptest.pdg_edges_pruned`` for PDG memory edges removed under
+``NOELLE_DEPTEST=1``, ``deptest.carried_disproved`` for loop-carried
+classifications refuted by a proven distance, and the
+``deptest.query`` timer around carried-dependence queries).  Two ways
+to see the numbers:
 
 * set ``NOELLE_STATS=1`` in the environment — a table is printed to
   stderr when the process exits;

@@ -9,6 +9,7 @@ Mirrors how the paper's users drive NOELLE from the shell (Figure 1):
     repro-noelle licm program.ir -o opt.ir
     repro-noelle dead program.ir -o slim.ir
     repro-noelle report program.ir          # PDG/loop/IV summary
+    repro-noelle analyze program.ir --loops # per-loop SCEV/deptest JSON
     repro-noelle compile program.ir --emit binary -o program.nir
     repro-noelle cache stats                # artifact-cache maintenance
 
@@ -249,19 +250,19 @@ def _cmd_dead(args) -> int:
     return 0
 
 
-def _load_check_module(args) -> Module:
-    """Resolve the ``check`` input: an .ir/.mc path or a workload name."""
-    if os.path.exists(args.input):
-        if args.input.endswith(".mc"):
-            return whole_ir_from_files([args.input], [])
-        return _load_ir(args.input)
+def _load_any_module(path: str, verb: str) -> Module:
+    """Resolve an input: an .ir/.mc/.nir path or a workload name."""
+    if os.path.exists(path):
+        if path.endswith(".mc"):
+            return whole_ir_from_files([path], [])
+        return _load_ir(path)
     from ..workloads import registry
 
     try:
-        workload = registry.get(args.input)
+        workload = registry.get(path)
     except KeyError:
         raise SystemExit(
-            f"repro-noelle check: {args.input!r} is neither a file nor a "
+            f"repro-noelle {verb}: {path!r} is neither a file nor a "
             f"registered workload"
         )
     return workload.compile()
@@ -271,7 +272,7 @@ def _cmd_check(args) -> int:
     from ..checks import run_checkers, worst_severity
     from ..checks.diagnostics import has_errors
 
-    module = _load_check_module(args)
+    module = _load_any_module(args.input, "check")
     noelle = Noelle(module)
     if args.parallelize:
         noelle.attach_profile(Profiler(module).profile())
@@ -317,7 +318,7 @@ def _cmd_check(args) -> int:
     return 1 if has_errors(diagnostics) else 0
 
 
-ORACLE_NAMES = ("engine", "parallel", "binio", "checkers")
+ORACLE_NAMES = ("engine", "parallel", "binio", "checkers", "deptest")
 
 
 def _cmd_fuzz(args) -> int:
@@ -445,6 +446,96 @@ def _cmd_report(args) -> int:
     return 0
 
 
+def _value_json(value):
+    """JSON-friendly rendering of an IR value / int used in SCEV facts."""
+    from ..ir.values import ConstantInt
+
+    if value is None:
+        return None
+    if isinstance(value, int):
+        return value
+    if isinstance(value, ConstantInt):
+        return value.value
+    ref = getattr(value, "ref", None)
+    return ref() if callable(ref) else repr(value)
+
+
+def _cmd_analyze(args) -> int:
+    """Dump per-loop symbolic facts (IVs, trip counts, dependence tests)."""
+    import json
+
+    from ..analysis.deptest import DependenceTester
+    from ..analysis.scev import ScalarEvolution
+    from ..core.induction import InductionVariableManager
+    from ..ir.instructions import Load, Store
+
+    module = _load_any_module(args.input, "analyze")
+    noelle = Noelle(module)
+    loops = []
+    for fn in module.defined_functions():
+        for natural in noelle.loop_info(fn).loops():
+            scev = ScalarEvolution(natural, fold_srem=True)
+            tester = DependenceTester(natural, scev=scev)
+            manager = InductionVariableManager(natural)
+            ivs = [
+                {
+                    "phi": iv.phi.ref(),
+                    "start": _value_json(iv.start),
+                    "step": _value_json(iv.step),
+                    "governing": iv.is_governing,
+                }
+                for iv in manager.ivs
+            ]
+            accesses = [
+                inst
+                for block in natural.blocks
+                for inst in block.instructions
+                if isinstance(inst, (Load, Store))
+            ]
+            access_facts = []
+            for index, inst in enumerate(accesses):
+                affine = tester.access_of(inst)
+                access_facts.append(
+                    {
+                        "id": index,
+                        "inst": inst.ref(),
+                        "block": inst.parent.name,
+                        "kind": "store" if isinstance(inst, Store) else "load",
+                        "affine": affine.describe() if affine else None,
+                    }
+                )
+            tests = []
+            for i, a in enumerate(accesses):
+                for j in range(i, len(accesses)):
+                    b = accesses[j]
+                    if not isinstance(a, Store) and not isinstance(b, Store):
+                        continue
+                    verdict = tester.test_pair(a, b)
+                    entry = {
+                        "a": i,
+                        "b": j,
+                        "verdict": verdict.kind,
+                        "reason": verdict.reason,
+                    }
+                    if verdict.distance is not None:
+                        entry["distance"] = verdict.distance
+                    tests.append(entry)
+            loops.append(
+                {
+                    "function": fn.name,
+                    "header": natural.header.name,
+                    "depth": natural.depth(),
+                    "trip_count": scev.trip_count(),
+                    "induction_variables": ivs,
+                    "memory_accesses": access_facts,
+                    "dependence_tests": tests,
+                }
+            )
+    json.dump({"module": module.name, "loops": loops}, sys.stdout, indent=2)
+    sys.stdout.write("\n")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-noelle",
@@ -561,6 +652,19 @@ def build_parser() -> argparse.ArgumentParser:
     report = sub.add_parser("report", help="PDG/loop/IV summary of an IR file")
     report.add_argument("input")
     report.set_defaults(func=_cmd_report)
+
+    analyze = sub.add_parser(
+        "analyze",
+        help="dump per-loop symbolic analysis facts (induction variables, "
+        "SCEV trip counts, dependence-test verdicts) as JSON",
+    )
+    analyze.add_argument("input", help="an .ir/.mc/.nir path or a workload name")
+    analyze.add_argument(
+        "--loops",
+        action="store_true",
+        help="per-loop facts (the default and currently only report)",
+    )
+    analyze.set_defaults(func=_cmd_analyze)
 
     check = sub.add_parser(
         "check",

@@ -1,11 +1,12 @@
 """Differential oracles: clean on healthy seeds, loud on planted bugs."""
 
 from repro.fuzz.driver import run_case
-from repro.fuzz.gen import generate_program
+from repro.fuzz.gen import GeneratedProgram, generate_program
 from repro.fuzz.oracles import (
     ORACLES,
     TECHNIQUES,
     binio_divergence,
+    deptest_divergence,
     run_oracles,
     technique_for,
 )
@@ -35,6 +36,71 @@ class TestOraclesClean:
             program.seed = 100 + index
             divergences = run_oracles(program, oracles=ORACLES)
             assert not divergences, (family, [d.detail for d in divergences])
+
+
+DEPTEST_DEMO = GeneratedProgram(
+    name="deptest_demo",
+    source="""
+int a[32];
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) {
+    a[i + 3] = a[i] + 1;
+  }
+  return a[12];
+}
+""",
+    family="carried",
+    choices=(),
+    seed=0,
+)
+
+
+class TestDeptestOracle:
+    def test_clean_on_generated_seeds(self):
+        for seed in range(6):
+            program = generate_program(seed)
+            assert deptest_divergence(program) is None, (seed, program.family)
+
+    def test_true_distance_validates(self):
+        # The demo's store a[i+3] / load a[i] pair carries distance -3
+        # (load at iteration j reads what the store wrote at j - 3);
+        # the dynamic trace must agree, so the oracle stays silent.
+        assert deptest_divergence(DEPTEST_DEMO) is None
+
+    def test_catches_a_lying_independence_claim(self, monkeypatch):
+        from repro.analysis import deptest as deptest_module
+
+        def liar(self, a, b, scope="loop"):
+            return deptest_module.DepVerdict(
+                deptest_module.PROVEN_INDEPENDENT, reason="planted lie"
+            )
+
+        monkeypatch.setattr(
+            deptest_module.DependenceTester, "test_pair", liar
+        )
+        divergence = deptest_divergence(DEPTEST_DEMO)
+        assert divergence is not None
+        assert divergence.oracle == "deptest"
+        assert "touched address" in divergence.detail
+
+    def test_catches_a_wrong_distance(self, monkeypatch):
+        from repro.analysis import deptest as deptest_module
+
+        real = deptest_module.DependenceTester.test_pair
+
+        def skewed(self, a, b, scope="loop"):
+            verdict = real(self, a, b, scope)
+            if verdict.is_dependent and verdict.distance not in (None, 0):
+                verdict.distance += 1  # off-by-one distance claim
+            return verdict
+
+        monkeypatch.setattr(
+            deptest_module.DependenceTester, "test_pair", skewed
+        )
+        divergence = deptest_divergence(DEPTEST_DEMO)
+        assert divergence is not None
+        assert "conflicts at gap" in divergence.detail
 
 
 class TestOraclesDetect:

@@ -139,6 +139,61 @@ class TestReports:
         assert "hotness" in out
 
 
+class TestAnalyze:
+    SOURCE = """
+int a[32];
+int main() {
+  int i;
+  for (i = 0; i < 10; i = i + 1) { a[i + 3] = a[i] + 1; }
+  return a[12];
+}
+"""
+
+    def analyze(self, tmp_path, capsys, *extra):
+        import json
+
+        source = tmp_path / "dep.mc"
+        source.write_text(self.SOURCE)
+        assert main(["analyze", str(source), *extra]) == 0
+        return json.loads(capsys.readouterr().out)
+
+    def test_loops_json_has_scev_facts(self, tmp_path, capsys):
+        report = self.analyze(tmp_path, capsys, "--loops")
+        loop = next(
+            l for l in report["loops"] if l["function"] == "main"
+        )
+        assert loop["trip_count"] == 10
+        governing = [
+            iv for iv in loop["induction_variables"] if iv["governing"]
+        ]
+        assert governing and governing[0]["start"] == 0
+        assert governing[0]["step"] == 1
+
+    def test_dependence_verdicts_reference_accesses(self, tmp_path, capsys):
+        report = self.analyze(tmp_path, capsys)
+        loop = next(
+            l for l in report["loops"] if l["function"] == "main"
+        )
+        accesses = loop["memory_accesses"]
+        assert any("1*i" in (a["affine"] or "") for a in accesses)
+        by_kind = {a["kind"]: a["id"] for a in accesses}
+        verdicts = {
+            (t["a"], t["b"]): t for t in loop["dependence_tests"]
+        }
+        # Load a[i] at iteration j reads what the store a[i+3] wrote
+        # three iterations earlier, hence distance -3 load->store.
+        pair = verdicts[(by_kind["load"], by_kind["store"])]
+        assert pair["verdict"] == "dependent"
+        assert pair["distance"] == -3
+
+    def test_workload_name_resolves(self, capsys):
+        import json
+
+        assert main(["analyze", "crc32", "--loops"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert any(l["trip_count"] == 256 for l in report["loops"])
+
+
 class TestCheck:
     def test_clean_ir_exits_zero(self, demo_files, capsys):
         _, ir_file, _ = demo_files
